@@ -1,0 +1,314 @@
+// Package smartpaf_bench holds the top-level benchmark harness: one
+// testing.B benchmark per paper table/figure (regenerating its data at
+// reduced scale) plus micro-benchmarks for the substrates that dominate
+// latency (NTT, CKKS multiply, encrypted PAF ReLU). Run with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for the paper-vs-measured discussion.
+package smartpaf_bench
+
+import (
+	"io"
+	"testing"
+
+	"github.com/efficientfhe/smartpaf/internal/ckks"
+	"github.com/efficientfhe/smartpaf/internal/data"
+	"github.com/efficientfhe/smartpaf/internal/experiments"
+	"github.com/efficientfhe/smartpaf/internal/henn"
+	"github.com/efficientfhe/smartpaf/internal/hepoly"
+	"github.com/efficientfhe/smartpaf/internal/nn"
+	"github.com/efficientfhe/smartpaf/internal/paf"
+	"github.com/efficientfhe/smartpaf/internal/ring"
+	"github.com/efficientfhe/smartpaf/internal/smartpaf"
+)
+
+// --- substrate micro-benchmarks ---------------------------------------------
+
+func BenchmarkNTT(b *testing.B) {
+	q, err := ring.GenPrime(45, 4096, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := ring.NewModulus(q, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := make([]uint64, 4096)
+	for i := range a {
+		a[i] = uint64(i) * 12345 % q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.NTT(a)
+	}
+}
+
+type benchContext struct {
+	params *ckks.Parameters
+	enc    *ckks.Encoder
+	encr   *ckks.Encryptor
+	eval   *ckks.Evaluator
+	he     *hepoly.Evaluator
+	ct     *ckks.Ciphertext
+}
+
+func newBenchContext(b *testing.B, logN int, levels int) *benchContext {
+	b.Helper()
+	logQ := make([]int, levels+1)
+	logQ[0] = 55
+	for i := 1; i <= levels; i++ {
+		logQ[i] = 45
+	}
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{LogN: logN, LogQ: logQ, LogP: 55, LogScale: 45})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(params, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinearizationKey(sk)
+	enc := ckks.NewEncoder(params)
+	encr := ckks.NewEncryptor(params, pk, 2)
+	eval := ckks.NewEvaluator(params, rlk)
+	vals := make([]float64, params.Slots())
+	for i := range vals {
+		vals[i] = 0.5 * float64(i%8-4) / 4
+	}
+	pt, err := enc.EncodeReals(vals, params.MaxLevel(), params.DefaultScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &benchContext{
+		params: params, enc: enc, encr: encr, eval: eval,
+		he: hepoly.NewEvaluator(eval),
+		ct: encr.Encrypt(pt),
+	}
+}
+
+func BenchmarkCKKSMulRelinRescale(b *testing.B) {
+	bc := newBenchContext(b, 12, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bc.eval.MulRelinRescale(bc.ct, bc.ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCKKSEncode(b *testing.B) {
+	bc := newBenchContext(b, 12, 6)
+	vals := make([]float64, bc.params.Slots())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bc.enc.EncodeReals(vals, bc.params.MaxLevel(), bc.params.DefaultScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 2: depth accounting (and the PAF plaintext hot path) -------------
+
+func BenchmarkTable2Depth(b *testing.B) {
+	forms := paf.AllFormsWithBaseline
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range forms {
+			c := paf.MustNew(name)
+			_ = c.Depth()
+			_ = c.OpsReLU()
+		}
+	}
+}
+
+func BenchmarkPAFReLUPlaintext(b *testing.B) {
+	c := paf.MustNew(paf.FormF1F1G1G1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.ReLU(0.37)
+	}
+}
+
+// --- Table 4 / Fig. 1: encrypted ReLU latency per PAF form ------------------
+
+// benchEncryptedReLU measures one PAF's encrypted ReLU at a fixed ring so
+// relative latencies across forms reproduce the Table 4 ordering.
+func benchEncryptedReLU(b *testing.B, form string) {
+	c := paf.MustNew(form)
+	bc := newBenchContext(b, 11, hepoly.RequiredLevels(c, false))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bc.he.ReLU(c, bc.ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4ReLU_f1_g2(b *testing.B)     { benchEncryptedReLU(b, paf.FormF1G2) }
+func BenchmarkTable4ReLU_f2_g2(b *testing.B)     { benchEncryptedReLU(b, paf.FormF2G2) }
+func BenchmarkTable4ReLU_f2_g3(b *testing.B)     { benchEncryptedReLU(b, paf.FormF2G3) }
+func BenchmarkTable4ReLU_alpha7(b *testing.B)    { benchEncryptedReLU(b, paf.FormAlpha7) }
+func BenchmarkTable4ReLU_f1f1_g1g1(b *testing.B) { benchEncryptedReLU(b, paf.FormF1F1G1G1) }
+func BenchmarkTable4ReLU_alpha10(b *testing.B)   { benchEncryptedReLU(b, paf.FormAlpha10) }
+
+// --- Fig. 7: Coefficient Tuning ---------------------------------------------
+
+func BenchmarkFig7CT(b *testing.B) {
+	prof := &smartpaf.Profile{Bins: make([]float64, 64), Max: 1}
+	for i := range prof.Bins {
+		x := prof.BinCenter(i)
+		prof.Bins[i] = 1 / (1 + 25*x*x)
+	}
+	c := paf.MustNew(paf.FormF1G2)
+	opt := smartpaf.DefaultCTOptions()
+	opt.Iterations = 50
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = smartpaf.CoefficientTuning(c, prof, opt)
+	}
+}
+
+// --- Fig. 8 / Fig. 9 / Table 3: the training pipeline ------------------------
+
+// benchPipeline runs one full SMART-PAF pipeline on the tiny task; it is the
+// unit of work behind Table 3 cells, Fig. 8 bars and Fig. 9 curves.
+func benchPipeline(b *testing.B, ct, pa, at bool) {
+	dcfg := data.Tiny()
+	train, val := data.Generate(dcfg)
+	base := nn.CNN7(2, dcfg.Classes, dcfg.Channels, dcfg.Size, dcfg.Size, 7)
+	smartpaf.Pretrain(base, train, 3, 32, 3e-3, 1)
+	snap := base.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := nn.CNN7(2, dcfg.Classes, dcfg.Channels, dcfg.Size, dcfg.Size, 7)
+		if err := m.Restore(snap); err != nil {
+			b.Fatal(err)
+		}
+		cfg := smartpaf.DefaultConfig(paf.FormF1G2)
+		cfg.CT, cfg.PA, cfg.AT = ct, pa, at
+		cfg.Epochs, cfg.MaxGroupsPerStep, cfg.ProfileBatches = 1, 1, 1
+		p, err := smartpaf.NewPipeline(m, train, val, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Baseline(b *testing.B) { benchPipeline(b, false, false, false) }
+func BenchmarkTable3SmartPAF(b *testing.B) { benchPipeline(b, true, true, true) }
+
+// --- static experiments end-to-end -------------------------------------------
+
+func BenchmarkStaticExperiments(b *testing.B) {
+	opt := experiments.Options{Fast: true, Seed: 1, W: io.Discard}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, id := range []string{"tab2", "tab5", "tab8", "appendixB"} {
+			if err := experiments.Run(id, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- nn training step (the unit of every fine-tuning epoch) -----------------
+
+func BenchmarkResNet18TrainStep(b *testing.B) {
+	dcfg := data.Tiny()
+	train, _ := data.Generate(dcfg)
+	m := nn.ResNet18(2, dcfg.Classes, dcfg.Channels, dcfg.Size, dcfg.Size, 7)
+	batch := train.Batches(16, nil)[0]
+	opt := nn.NewAdam(1e-3, 1e-4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.TrainStep(m, nn.Batch{X: batch.X, Y: batch.Y}, nil, opt)
+	}
+}
+
+// --- ablation benches for DESIGN.md design choices ---------------------------
+
+// BenchmarkAblationLinearNaive vs BenchmarkAblationLinearBSGS quantify the
+// baby-step/giant-step optimization of encrypted matrix-vector products.
+func newLinearBench(b *testing.B) (*henn.Context, *ckks.Ciphertext, *henn.Linear) {
+	b.Helper()
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN: 10, LogQ: []int{55, 45, 45}, LogP: 55, LogScale: 45})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(params, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinearizationKey(sk)
+
+	lin := &henn.Linear{In: 64, Out: 32, B: make([]float64, 32)}
+	lin.W = make([][]float64, 32)
+	for i := range lin.W {
+		lin.W[i] = make([]float64, 64)
+		for j := range lin.W[i] {
+			lin.W[i][j] = float64((i+j)%7) * 0.1
+		}
+	}
+	mlp := &henn.MLP{Layers: []any{lin}}
+	steps := append(mlp.RequiredRotations(params.Slots()), mlp.RequiredRotationsBSGS(params.Slots())...)
+	rks := kg.GenRotationKeys(sk, steps, false)
+	eval := ckks.NewEvaluator(params, rlk).WithRotationKeys(rks)
+	ctx := henn.NewContext(params, ckks.NewEncoder(params), eval)
+
+	vec := make([]float64, params.Slots())
+	for i := 0; i < 64; i++ {
+		vec[i] = 0.01 * float64(i)
+	}
+	pt, err := ctx.Enc.EncodeReals(vec, params.MaxLevel(), params.DefaultScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctx, ckks.NewEncryptor(params, pk, 2).Encrypt(pt), lin
+}
+
+func BenchmarkAblationLinearNaive(b *testing.B) {
+	ctx, ct, lin := newLinearBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.ApplyLinear(lin, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLinearBSGS(b *testing.B) {
+	ctx, ct, lin := newLinearBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.ApplyLinearBSGS(lin, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEncoderFast vs Naive quantifies the special-FFT encoder
+// against the O(n²) canonical-embedding oracle.
+func BenchmarkAblationEncoderFast(b *testing.B) {
+	bc := newBenchContext(b, 10, 2)
+	vals := make([]complex128, bc.params.Slots())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bc.enc.Encode(vals, 1, bc.params.DefaultScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationEncoderNaive(b *testing.B) {
+	bc := newBenchContext(b, 10, 2)
+	vals := make([]complex128, bc.params.Slots())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bc.enc.EncodeNaive(vals, 1, bc.params.DefaultScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command ckksinfo inspects the CKKS parameter presets and the per-PAF
+// minimal parameter sets used by the latency evaluation: prime chains,
+// total modulus bits, slot counts, and the depth requirements of every PAF
+// form in Table 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/efficientfhe/smartpaf/internal/ckks"
+	"github.com/efficientfhe/smartpaf/internal/experiments"
+	"github.com/efficientfhe/smartpaf/internal/hepoly"
+	"github.com/efficientfhe/smartpaf/internal/paf"
+)
+
+func main() {
+	showPrimes := flag.Bool("primes", false, "print the concrete prime chains")
+	flag.Parse()
+
+	presets := []struct {
+		name string
+		lit  ckks.ParametersLiteral
+	}{
+		{"PN11", ckks.PN11},
+		{"PN12", ckks.PN12},
+		{"PN13", ckks.PN13},
+		{"PN14", ckks.PN14},
+		{"PN15Paper", ckks.PN15Paper},
+	}
+	fmt.Println("CKKS parameter presets")
+	fmt.Println("preset      N      slots   levels  logQP   scale")
+	for _, p := range presets {
+		params, err := ckks.NewParameters(p.lit)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ckksinfo: %s: %v\n", p.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s  %-6d %-7d %-7d %-7.1f 2^%d\n",
+			p.name, params.N(), params.Slots(), params.MaxLevel(), params.TotalLogQP(), p.lit.LogScale)
+		if *showPrimes {
+			fmt.Printf("  Q = %v\n  P = %d\n", params.Q(), params.P())
+		}
+	}
+
+	fmt.Println("\nPer-PAF ReLU requirements and minimal standard-compliant parameters")
+	fmt.Println("form        degree  depth  ReLU levels (+scaling)  minimal ring")
+	for _, form := range paf.AllFormsWithBaseline {
+		c := paf.MustNew(form)
+		lit, err := experiments.ParamsForPAF(c, false)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ckksinfo: %s: %v\n", form, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-11s %-7d %-6d %-23d 2^%d\n",
+			form, c.Degree(), c.Depth(), hepoly.RequiredLevels(c, true), lit.LogN)
+	}
+}

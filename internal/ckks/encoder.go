@@ -1,0 +1,220 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Encoder maps vectors of complex numbers into ring plaintexts via the CKKS
+// canonical embedding. The fast path is the special FFT over the orbit of 5
+// modulo 2N (the same algorithm as HEAAN/SEAL/Lattigo); EncodeNaive/
+// DecodeNaive evaluate the embedding directly in O(n^2) and serve as a test
+// oracle for the fast path.
+type Encoder struct {
+	params   *Parameters
+	m        int          // 2N
+	rotGroup []int        // 5^i mod 2N, i < N/2
+	ksiPows  []complex128 // exp(2πi j / 2N), j ≤ 2N
+}
+
+// NewEncoder builds an encoder for the given parameters.
+func NewEncoder(params *Parameters) *Encoder {
+	n := params.N()
+	m := 2 * n
+	slots := n / 2
+	e := &Encoder{
+		params:   params,
+		m:        m,
+		rotGroup: make([]int, slots),
+		ksiPows:  make([]complex128, m+1),
+	}
+	fivePow := 1
+	for i := 0; i < slots; i++ {
+		e.rotGroup[i] = fivePow
+		fivePow = fivePow * 5 % m
+	}
+	for j := 0; j <= m; j++ {
+		angle := 2 * math.Pi * float64(j) / float64(m)
+		e.ksiPows[j] = cmplx.Rect(1, angle)
+	}
+	return e
+}
+
+// emb evaluates the special FFT in place: coefficients -> slot values.
+func (e *Encoder) emb(vals []complex128) {
+	size := len(vals)
+	bitReverseArray(vals)
+	for length := 2; length <= size; length <<= 1 {
+		lenh := length >> 1
+		lenq := length << 2
+		gap := e.m / lenq
+		for i := 0; i < size; i += length {
+			for j := 0; j < lenh; j++ {
+				idx := (e.rotGroup[j] % lenq) * gap
+				u := vals[i+j]
+				v := vals[i+j+lenh] * e.ksiPows[idx]
+				vals[i+j] = u + v
+				vals[i+j+lenh] = u - v
+			}
+		}
+	}
+}
+
+// embInv evaluates the inverse special FFT in place: slot values ->
+// coefficients (already divided by the size).
+func (e *Encoder) embInv(vals []complex128) {
+	size := len(vals)
+	for length := size; length >= 2; length >>= 1 {
+		lenh := length >> 1
+		lenq := length << 2
+		gap := e.m / lenq
+		for i := 0; i < size; i += length {
+			for j := 0; j < lenh; j++ {
+				idx := (lenq - (e.rotGroup[j] % lenq)) * gap
+				u := vals[i+j] + vals[i+j+lenh]
+				v := (vals[i+j] - vals[i+j+lenh]) * e.ksiPows[idx]
+				vals[i+j] = u
+				vals[i+j+lenh] = v
+			}
+		}
+	}
+	bitReverseArray(vals)
+	inv := complex(1/float64(size), 0)
+	for i := range vals {
+		vals[i] *= inv
+	}
+}
+
+func bitReverseArray(vals []complex128) {
+	n := len(vals)
+	logN := bits.Len(uint(n)) - 1
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> (64 - logN))
+		if i < j {
+			vals[i], vals[j] = vals[j], vals[i]
+		}
+	}
+}
+
+// Encode packs up to N/2 complex values into a plaintext at the given level
+// and scale. Fewer values are zero-padded.
+func (e *Encoder) Encode(values []complex128, level int, scale float64) (*Plaintext, error) {
+	slots := e.params.Slots()
+	if len(values) > slots {
+		return nil, fmt.Errorf("ckks: %d values exceed %d slots", len(values), slots)
+	}
+	w := make([]complex128, slots)
+	copy(w, values)
+	e.embInv(w)
+	return e.coeffsToPlaintext(w, level, scale)
+}
+
+// EncodeReals packs real values (imaginary parts zero).
+func (e *Encoder) EncodeReals(values []float64, level int, scale float64) (*Plaintext, error) {
+	cv := make([]complex128, len(values))
+	for i, v := range values {
+		cv[i] = complex(v, 0)
+	}
+	return e.Encode(cv, level, scale)
+}
+
+func (e *Encoder) coeffsToPlaintext(w []complex128, level int, scale float64) (*Plaintext, error) {
+	n := e.params.N()
+	slots := e.params.Slots()
+	coeffs := make([]int64, n)
+	maxMag := math.Exp2(62)
+	for j := 0; j < slots; j++ {
+		re := real(w[j]) * scale
+		im := imag(w[j]) * scale
+		if math.Abs(re) >= maxMag || math.Abs(im) >= maxMag {
+			return nil, fmt.Errorf("ckks: encoded coefficient magnitude exceeds 2^62 (scale too large)")
+		}
+		coeffs[j] = int64(math.Round(re))
+		coeffs[j+slots] = int64(math.Round(im))
+	}
+	poly := e.params.RingQ().SetSignedCoeffs(coeffs, level)
+	e.params.RingQ().NTT(poly)
+	return &Plaintext{Value: poly, Scale: scale, Level: level}, nil
+}
+
+// Decode recovers the slot values of a plaintext. Correctness requires the
+// underlying (message+noise) coefficients to stay below q_0/2 in magnitude,
+// which is the standard CKKS invariant maintained by rescaling.
+func (e *Encoder) Decode(pt *Plaintext) []complex128 {
+	n := e.params.N()
+	slots := e.params.Slots()
+	limb0 := append([]uint64(nil), pt.Value.Coeffs[0]...)
+	e.params.RingQ().Moduli[0].INTT(limb0)
+	q := e.params.RingQ().Moduli[0].Q
+	half := q >> 1
+	w := make([]complex128, slots)
+	for j := 0; j < slots; j++ {
+		w[j] = complex(centered(limb0[j], q, half)/pt.Scale, centered(limb0[j+slots], q, half)/pt.Scale)
+	}
+	_ = n
+	e.emb(w)
+	return w
+}
+
+// DecodeReals returns the real parts of Decode.
+func (e *Encoder) DecodeReals(pt *Plaintext) []float64 {
+	cv := e.Decode(pt)
+	out := make([]float64, len(cv))
+	for i, v := range cv {
+		out[i] = real(v)
+	}
+	return out
+}
+
+func centered(c, q, half uint64) float64 {
+	if c > half {
+		return -float64(q - c)
+	}
+	return float64(c)
+}
+
+// EncodeNaive computes the embedding coefficients by the defining formula
+// w_j = (1/slots) Σ_k z_k conj(ζ^{5^k j}); O(slots^2), used as a test oracle.
+func (e *Encoder) EncodeNaive(values []complex128, level int, scale float64) (*Plaintext, error) {
+	slots := e.params.Slots()
+	if len(values) > slots {
+		return nil, fmt.Errorf("ckks: %d values exceed %d slots", len(values), slots)
+	}
+	z := make([]complex128, slots)
+	copy(z, values)
+	w := make([]complex128, slots)
+	for j := 0; j < slots; j++ {
+		var acc complex128
+		for k := 0; k < slots; k++ {
+			idx := (e.rotGroup[k] * j) % e.m
+			acc += z[k] * cmplx.Conj(e.ksiPows[idx])
+		}
+		w[j] = acc / complex(float64(slots), 0)
+	}
+	return e.coeffsToPlaintext(w, level, scale)
+}
+
+// DecodeNaive evaluates z_k = w(ζ^{5^k}) directly; O(slots^2) test oracle.
+func (e *Encoder) DecodeNaive(pt *Plaintext) []complex128 {
+	slots := e.params.Slots()
+	limb0 := append([]uint64(nil), pt.Value.Coeffs[0]...)
+	e.params.RingQ().Moduli[0].INTT(limb0)
+	q := e.params.RingQ().Moduli[0].Q
+	half := q >> 1
+	w := make([]complex128, slots)
+	for j := 0; j < slots; j++ {
+		w[j] = complex(centered(limb0[j], q, half)/pt.Scale, centered(limb0[j+slots], q, half)/pt.Scale)
+	}
+	z := make([]complex128, slots)
+	for k := 0; k < slots; k++ {
+		var acc complex128
+		for j := 0; j < slots; j++ {
+			idx := (e.rotGroup[k] * j) % e.m
+			acc += w[j] * e.ksiPows[idx]
+		}
+		z[k] = acc
+	}
+	return z
+}

@@ -1,0 +1,60 @@
+package ckks
+
+import (
+	"github.com/efficientfhe/smartpaf/internal/ring"
+)
+
+// Encryptor encrypts plaintexts under a public key.
+type Encryptor struct {
+	params  *Parameters
+	pk      *PublicKey
+	sampler *ring.Sampler
+}
+
+// NewEncryptor returns a deterministic (seeded) encryptor.
+func NewEncryptor(params *Parameters, pk *PublicKey, seed int64) *Encryptor {
+	return &Encryptor{params: params, pk: pk, sampler: ring.NewSampler(params.RingQ(), seed)}
+}
+
+// Encrypt produces (v·b + e0 + m, v·a + e1) at the plaintext's level.
+func (enc *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
+	rq := enc.params.RingQ()
+	level := pt.Level
+
+	v := enc.params.RingQ().SetSignedCoeffs(enc.sampler.TernarySigned(0.5), level)
+	rq.NTT(v)
+	e0 := enc.sampler.Gaussian(level)
+	e1 := enc.sampler.Gaussian(level)
+	rq.NTT(e0)
+	rq.NTT(e1)
+
+	c0 := rq.NewPoly(level)
+	c1 := rq.NewPoly(level)
+	rq.MulCoeffs(v, enc.pk.B.Truncate(level), c0)
+	rq.Add(c0, e0, c0)
+	rq.Add(c0, pt.Value, c0)
+	rq.MulCoeffs(v, enc.pk.A.Truncate(level), c1)
+	rq.Add(c1, e1, c1)
+
+	return &Ciphertext{C0: c0, C1: c1, Scale: pt.Scale, Level: level}
+}
+
+// Decryptor recovers plaintexts with the secret key.
+type Decryptor struct {
+	params *Parameters
+	sk     *SecretKey
+}
+
+// NewDecryptor returns a decryptor for sk.
+func NewDecryptor(params *Parameters, sk *SecretKey) *Decryptor {
+	return &Decryptor{params: params, sk: sk}
+}
+
+// Decrypt computes c0 + c1·s at the ciphertext level.
+func (dec *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
+	rq := dec.params.RingQ()
+	m := rq.NewPoly(ct.Level)
+	rq.MulCoeffs(ct.C1, dec.sk.Q.Truncate(ct.Level), m)
+	rq.Add(m, ct.C0, m)
+	return &Plaintext{Value: m, Scale: ct.Scale, Level: ct.Level}
+}

@@ -1,0 +1,379 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/efficientfhe/smartpaf/internal/ring"
+)
+
+// scaleTol is the accepted relative mismatch between operand scales in
+// additions. Exact scale management (MulConstTargetScale) keeps true
+// mismatches below this bound; anything larger is a programming error.
+const scaleTol = 1e-6
+
+// Evaluator performs homomorphic arithmetic. It is not safe for concurrent
+// use (it owns scratch buffers); create one evaluator per goroutine.
+type Evaluator struct {
+	params *Parameters
+	rlk    *RelinearizationKey
+	rks    *RotationKeySet
+}
+
+// NewEvaluator returns an evaluator bound to the relinearization key (which
+// may be nil if no ciphertext-ciphertext multiplications are performed).
+func NewEvaluator(params *Parameters, rlk *RelinearizationKey) *Evaluator {
+	return &Evaluator{params: params, rlk: rlk}
+}
+
+// Params returns the evaluator's parameter set.
+func (ev *Evaluator) Params() *Parameters { return ev.params }
+
+func (ev *Evaluator) checkScales(a, b float64) error {
+	if math.Abs(a-b) > scaleTol*math.Abs(a) {
+		return fmt.Errorf("ckks: scale mismatch %g vs %g", a, b)
+	}
+	return nil
+}
+
+// DropLevel returns a view of ct truncated to the given level. Dropping RNS
+// limbs is exact and noise-free.
+func (ev *Evaluator) DropLevel(ct *Ciphertext, level int) *Ciphertext {
+	if level > ct.Level {
+		panic("ckks: DropLevel cannot raise level")
+	}
+	return &Ciphertext{C0: ct.C0.Truncate(level), C1: ct.C1.Truncate(level), Scale: ct.Scale, Level: level}
+}
+
+// alignLevels returns views of a and b at their common (minimum) level.
+func (ev *Evaluator) alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext, int) {
+	level := min(a.Level, b.Level)
+	return ev.DropLevel(a, level), ev.DropLevel(b, level), level
+}
+
+// Add returns a + b (scales must match; result at the common level).
+func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := ev.checkScales(a.Scale, b.Scale); err != nil {
+		return nil, err
+	}
+	a, b, level := ev.alignLevels(a, b)
+	rq := ev.params.RingQ()
+	out := &Ciphertext{C0: rq.NewPoly(level), C1: rq.NewPoly(level), Scale: a.Scale, Level: level}
+	rq.Add(a.C0, b.C0, out.C0)
+	rq.Add(a.C1, b.C1, out.C1)
+	return out, nil
+}
+
+// Sub returns a - b.
+func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := ev.checkScales(a.Scale, b.Scale); err != nil {
+		return nil, err
+	}
+	a, b, level := ev.alignLevels(a, b)
+	rq := ev.params.RingQ()
+	out := &Ciphertext{C0: rq.NewPoly(level), C1: rq.NewPoly(level), Scale: a.Scale, Level: level}
+	rq.Sub(a.C0, b.C0, out.C0)
+	rq.Sub(a.C1, b.C1, out.C1)
+	return out, nil
+}
+
+// Neg returns -a.
+func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
+	rq := ev.params.RingQ()
+	out := &Ciphertext{C0: rq.NewPoly(a.Level), C1: rq.NewPoly(a.Level), Scale: a.Scale, Level: a.Level}
+	rq.Neg(a.C0, out.C0)
+	rq.Neg(a.C1, out.C1)
+	return out
+}
+
+// AddPlain returns ct + pt (scales must match).
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	if err := ev.checkScales(ct.Scale, pt.Scale); err != nil {
+		return nil, err
+	}
+	level := min(ct.Level, pt.Level)
+	rq := ev.params.RingQ()
+	out := &Ciphertext{C0: rq.NewPoly(level), C1: ct.C1.Truncate(level).CopyNew(), Scale: ct.Scale, Level: level}
+	rq.Add(ct.C0.Truncate(level), pt.Value.Truncate(level), out.C0)
+	return out, nil
+}
+
+// MulPlain returns ct ⊙ pt; the result scale is the product of scales and the
+// caller normally rescales afterwards.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	level := min(ct.Level, pt.Level)
+	rq := ev.params.RingQ()
+	out := &Ciphertext{C0: rq.NewPoly(level), C1: rq.NewPoly(level), Scale: ct.Scale * pt.Scale, Level: level}
+	rq.MulCoeffs(ct.C0.Truncate(level), pt.Value.Truncate(level), out.C0)
+	rq.MulCoeffs(ct.C1.Truncate(level), pt.Value.Truncate(level), out.C1)
+	return out
+}
+
+// MulRelin multiplies two ciphertexts and relinearizes the degree-2 term.
+// The result scale is the product of the operand scales; callers normally
+// Rescale next.
+func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
+	if ev.rlk == nil {
+		return nil, fmt.Errorf("ckks: evaluator has no relinearization key")
+	}
+	a, b, level := ev.alignLevels(a, b)
+	rq := ev.params.RingQ()
+
+	d0 := rq.NewPoly(level)
+	d1 := rq.NewPoly(level)
+	d2 := rq.NewPoly(level)
+	rq.MulCoeffs(a.C0, b.C0, d0)
+	rq.MulCoeffs(a.C0, b.C1, d1)
+	rq.MulCoeffsThenAdd(a.C1, b.C0, d1)
+	rq.MulCoeffs(a.C1, b.C1, d2)
+
+	e0, e1 := ev.keySwitch(d2, ev.rlk.Digits, level)
+	rq.Add(d0, e0, d0)
+	rq.Add(d1, e1, d1)
+	return &Ciphertext{C0: d0, C1: d1, Scale: a.Scale * b.Scale, Level: level}, nil
+}
+
+// keySwitch applies a gadget key (relinearization or rotation) to an
+// NTT-domain ciphertext component d2 at the given level, returning the
+// (c0, c1) correction over Q.
+//
+// Algorithm: decompose d2 into per-prime RNS digits u_i = [d2]_{q_i}
+// (coefficient domain, single-limb integers), extend each digit to every
+// limb of Q_level and to P, and accumulate Σ u_i ⊙ evk_i over Q and P.
+// Because the gadget g_i ≡ δ_ij (mod q_j), Σ u_i·g_i ≡ d2 (mod Q_level),
+// and the accumulated value equals P·d2·s² + small error over QP. Dividing
+// by P (exact centered mod-down, P is a single prime) yields d2·s² + tiny
+// error over Q.
+func (ev *Evaluator) keySwitch(d2 *ring.Poly, digits []EvaluationKeyDigit, level int) (*ring.Poly, *ring.Poly) {
+	rq := ev.params.RingQ()
+	rp := ev.params.RingP()
+	n := ev.params.N()
+	p := ev.params.P()
+
+	acc0 := rq.NewPoly(level)
+	acc1 := rq.NewPoly(level)
+	acc0P := rp.NewPoly(0)
+	acc1P := rp.NewPoly(0)
+
+	digit := make([]uint64, n)
+	ext := make([]uint64, n)
+	for i := 0; i <= level; i++ {
+		copy(digit, d2.Coeffs[i])
+		rq.Moduli[i].INTT(digit)
+		evk := &digits[i]
+
+		// Extend the digit to each q_j limb, transform, multiply-accumulate.
+		for j := 0; j <= level; j++ {
+			qj := rq.Moduli[j].Q
+			if ev.params.Q()[i] <= qj {
+				copy(ext, digit)
+			} else {
+				for k := 0; k < n; k++ {
+					ext[k] = digit[k] % qj
+				}
+			}
+			rq.Moduli[j].NTT(ext)
+			b := evk.BQ.Coeffs[j]
+			a := evk.AQ.Coeffs[j]
+			o0 := acc0.Coeffs[j]
+			o1 := acc1.Coeffs[j]
+			for k := 0; k < n; k++ {
+				o0[k] = ring.AddMod(o0[k], ring.MulMod(ext[k], b[k], qj), qj)
+				o1[k] = ring.AddMod(o1[k], ring.MulMod(ext[k], a[k], qj), qj)
+			}
+		}
+		// Extend to the P limb.
+		if ev.params.Q()[i] <= p {
+			copy(ext, digit)
+		} else {
+			for k := 0; k < n; k++ {
+				ext[k] = digit[k] % p
+			}
+		}
+		rp.Moduli[0].NTT(ext)
+		bP := evk.BP.Coeffs[0]
+		aP := evk.AP.Coeffs[0]
+		o0 := acc0P.Coeffs[0]
+		o1 := acc1P.Coeffs[0]
+		for k := 0; k < n; k++ {
+			o0[k] = ring.AddMod(o0[k], ring.MulMod(ext[k], bP[k], p), p)
+			o1[k] = ring.AddMod(o1[k], ring.MulMod(ext[k], aP[k], p), p)
+		}
+	}
+
+	ev.modDownByP(acc0, acc0P, level)
+	ev.modDownByP(acc1, acc1P, level)
+	return acc0, acc1
+}
+
+// modDownByP divides accQ (NTT domain over Q_level) by P in place, consuming
+// accP (NTT domain over P): accQ <- (accQ - lift([acc]_P)) / P per limb.
+func (ev *Evaluator) modDownByP(accQ, accP *ring.Poly, level int) {
+	rq := ev.params.RingQ()
+	rp := ev.params.RingP()
+	n := ev.params.N()
+	p := ev.params.P()
+	half := p >> 1
+
+	lift := append([]uint64(nil), accP.Coeffs[0]...)
+	rp.Moduli[0].INTT(lift)
+
+	ext := make([]uint64, n)
+	for j := 0; j <= level; j++ {
+		qj := rq.Moduli[j].Q
+		for k := 0; k < n; k++ {
+			c := lift[k]
+			if c > half {
+				// centered: c - p (negative) ≡ qj - (p - c) mod qj
+				ext[k] = qj - (p-c)%qj
+				if ext[k] == qj {
+					ext[k] = 0
+				}
+			} else {
+				ext[k] = c % qj
+			}
+		}
+		rq.Moduli[j].NTT(ext)
+		pinv := ev.params.pInvModQ[j]
+		limb := accQ.Coeffs[j]
+		for k := 0; k < n; k++ {
+			limb[k] = ring.MulMod(ring.SubMod(limb[k], ext[k], qj), pinv, qj)
+		}
+	}
+}
+
+// Rescale divides the ciphertext by its top prime q_level, dropping one
+// level and dividing the scale accordingly. This is the CKKS "modulus
+// switching" that keeps scales near Δ after multiplications.
+func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
+	level := ct.Level
+	if level == 0 {
+		return nil, fmt.Errorf("ckks: cannot rescale below level 0")
+	}
+	rq := ev.params.RingQ()
+	ql := ev.params.Q()[level]
+	out := &Ciphertext{
+		C0:    rq.NewPoly(level - 1),
+		C1:    rq.NewPoly(level - 1),
+		Scale: ct.Scale / float64(ql),
+		Level: level - 1,
+	}
+	ev.divideByTopPrime(ct.C0, out.C0, level)
+	ev.divideByTopPrime(ct.C1, out.C1, level)
+	return out, nil
+}
+
+func (ev *Evaluator) divideByTopPrime(in, out *ring.Poly, level int) {
+	rq := ev.params.RingQ()
+	n := ev.params.N()
+	ql := ev.params.Q()[level]
+	half := ql >> 1
+
+	lift := append([]uint64(nil), in.Coeffs[level]...)
+	rq.Moduli[level].INTT(lift)
+
+	ext := make([]uint64, n)
+	for j := 0; j < level; j++ {
+		qj := rq.Moduli[j].Q
+		for k := 0; k < n; k++ {
+			c := lift[k]
+			if c > half {
+				ext[k] = qj - (ql-c)%qj
+				if ext[k] == qj {
+					ext[k] = 0
+				}
+			} else {
+				ext[k] = c % qj
+			}
+		}
+		rq.Moduli[j].NTT(ext)
+		qinv := ev.params.qInvMod[level][j]
+		src := in.Coeffs[j]
+		dst := out.Coeffs[j]
+		for k := 0; k < n; k++ {
+			dst[k] = ring.MulMod(ring.SubMod(src[k], ext[k], qj), qinv, qj)
+		}
+	}
+}
+
+// MulRelinRescale is the common fused sequence multiply → relinearize →
+// rescale.
+func (ev *Evaluator) MulRelinRescale(a, b *Ciphertext) (*Ciphertext, error) {
+	ct, err := ev.MulRelin(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Rescale(ct)
+}
+
+// scalarRNS encodes round(c*scale) as per-limb residues.
+func (ev *Evaluator) scalarRNS(c, scale float64, level int) ([]uint64, error) {
+	v := c * scale
+	if math.Abs(v) >= math.Exp2(62) {
+		return nil, fmt.Errorf("ckks: constant %g at scale %g exceeds 2^62", c, scale)
+	}
+	k := int64(math.Round(v))
+	out := make([]uint64, level+1)
+	for j := 0; j <= level; j++ {
+		q := ev.params.Q()[j]
+		if k >= 0 {
+			out[j] = uint64(k) % q
+		} else {
+			out[j] = q - uint64(-k)%q
+		}
+	}
+	return out, nil
+}
+
+// MulConst multiplies by a real constant encoded at constScale; the result
+// scale is ct.Scale * constScale (no rescale).
+func (ev *Evaluator) MulConst(ct *Ciphertext, c, constScale float64) (*Ciphertext, error) {
+	scal, err := ev.scalarRNS(c, constScale, ct.Level)
+	if err != nil {
+		return nil, err
+	}
+	rq := ev.params.RingQ()
+	out := &Ciphertext{C0: rq.NewPoly(ct.Level), C1: rq.NewPoly(ct.Level), Scale: ct.Scale * constScale, Level: ct.Level}
+	rq.MulScalar(ct.C0, scal, out.C0)
+	rq.MulScalar(ct.C1, scal, out.C1)
+	return out, nil
+}
+
+// MulConstTargetScale multiplies ct by constant c and rescales once so that
+// the result lands *exactly* at targetScale one level below. This is the
+// primitive that keeps every addition in a polynomial evaluation at
+// identical scales: constScale = targetScale·q_level / ct.Scale.
+func (ev *Evaluator) MulConstTargetScale(ct *Ciphertext, c, targetScale float64) (*Ciphertext, error) {
+	if ct.Level == 0 {
+		return nil, fmt.Errorf("ckks: no level left for MulConstTargetScale")
+	}
+	ql := float64(ev.params.Q()[ct.Level])
+	constScale := targetScale * ql / ct.Scale
+	if constScale < math.Exp2(18) {
+		return nil, fmt.Errorf("ckks: required constant scale %g too small for accurate encoding", constScale)
+	}
+	out, err := ev.MulConst(ct, c, constScale)
+	if err != nil {
+		return nil, err
+	}
+	out, err = ev.Rescale(out)
+	if err != nil {
+		return nil, err
+	}
+	// The float bookkeeping above is exact by construction; pin it to avoid
+	// drift accumulating across deep circuits.
+	out.Scale = targetScale
+	return out, nil
+}
+
+// AddConst adds a real constant (encoded at the ciphertext's own scale).
+func (ev *Evaluator) AddConst(ct *Ciphertext, c float64) (*Ciphertext, error) {
+	scal, err := ev.scalarRNS(c, ct.Scale, ct.Level)
+	if err != nil {
+		return nil, err
+	}
+	rq := ev.params.RingQ()
+	out := &Ciphertext{C0: rq.NewPoly(ct.Level), C1: ct.C1.CopyNew(), Scale: ct.Scale, Level: ct.Level}
+	rq.AddScalar(ct.C0, scal, out.C0)
+	return out, nil
+}

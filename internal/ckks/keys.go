@@ -1,0 +1,147 @@
+package ckks
+
+import (
+	"github.com/efficientfhe/smartpaf/internal/ring"
+)
+
+// Plaintext is an encoded message: an NTT-domain ring element plus the scale
+// and level bookkeeping shared with ciphertexts.
+type Plaintext struct {
+	Value *ring.Poly
+	Scale float64
+	Level int
+}
+
+// Ciphertext is a standard two-component CKKS ciphertext (c0, c1) in NTT
+// domain, decryptable as c0 + c1·s.
+type Ciphertext struct {
+	C0, C1 *ring.Poly
+	Scale  float64
+	Level  int
+}
+
+// CopyNew deep-copies the ciphertext.
+func (ct *Ciphertext) CopyNew() *Ciphertext {
+	return &Ciphertext{C0: ct.C0.CopyNew(), C1: ct.C1.CopyNew(), Scale: ct.Scale, Level: ct.Level}
+}
+
+// SecretKey holds s in NTT domain. QP carries limbs [q_0..q_L, P] (the P limb
+// is needed during key switching); Q is a view of the q limbs only.
+type SecretKey struct {
+	Q *ring.Poly // limbs q_0..q_L
+	P *ring.Poly // single P limb
+}
+
+// PublicKey is a standard RLWE encryption key (b, a) with b = -a·s + e.
+type PublicKey struct {
+	B, A *ring.Poly // NTT domain, limbs q_0..q_L
+}
+
+// EvaluationKeyDigit is one gadget digit of a key-switching key: a pair
+// (b_i, a_i) over Q (limbs q_0..q_L) plus the P limb of each component.
+type EvaluationKeyDigit struct {
+	BQ, AQ *ring.Poly // limbs q_0..q_L
+	BP, AP *ring.Poly // single P limb
+}
+
+// RelinearizationKey switches s^2 back to s. Digit i handles the RNS digit
+// [d2]_{q_i}: b_i = -a_i·s + e_i + P·g_i·s^2 where the gadget g_i ≡ δ_ij
+// (mod q_j) for every j, which holds at every level, so one key set serves
+// the entire modulus chain.
+type RelinearizationKey struct {
+	Digits []EvaluationKeyDigit
+}
+
+// KeyGenerator produces the key material. Deterministic given the seed.
+type KeyGenerator struct {
+	params    *Parameters
+	samplerQ  *ring.Sampler
+	samplerP  *ring.Sampler
+	seed      int64
+	nextSeeds int64
+}
+
+// NewKeyGenerator returns a generator seeded deterministically.
+func NewKeyGenerator(params *Parameters, seed int64) *KeyGenerator {
+	return &KeyGenerator{
+		params:   params,
+		samplerQ: ring.NewSampler(params.RingQ(), seed),
+		samplerP: ring.NewSampler(params.RingP(), seed^0x5eed),
+		seed:     seed,
+	}
+}
+
+// GenSecretKey samples a uniform ternary secret (density 2/3) and stores it
+// in NTT domain over both Q and P.
+func (kg *KeyGenerator) GenSecretKey() *SecretKey {
+	L := kg.params.MaxLevel()
+	// Sample the signed coefficients once, then embed into both rings so the
+	// Q and P views are the same secret.
+	signed := kg.samplerQ.TernarySigned(2.0 / 3.0)
+	skQ := kg.params.RingQ().SetSignedCoeffs(signed, L)
+	skP := kg.params.RingP().SetSignedCoeffs(signed, 0)
+	kg.params.RingQ().NTT(skQ)
+	kg.params.RingP().NTT(skP)
+	return &SecretKey{Q: skQ, P: skP}
+}
+
+// GenPublicKey returns (b, a) with b = -a·s + e over the full chain.
+func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
+	L := kg.params.MaxLevel()
+	rq := kg.params.RingQ()
+	a := kg.samplerQ.Uniform(L)
+	e := kg.samplerQ.Gaussian(L)
+	rq.NTT(e)
+	b := rq.NewPoly(L)
+	rq.MulCoeffs(a, sk.Q, b)
+	rq.Neg(b, b)
+	rq.Add(b, e, b)
+	return &PublicKey{B: b, A: a}
+}
+
+// GenRelinearizationKey builds the per-prime gadget relinearization key.
+func (kg *KeyGenerator) GenRelinearizationKey(sk *SecretKey) *RelinearizationKey {
+	L := kg.params.MaxLevel()
+	rq := kg.params.RingQ()
+	rp := kg.params.RingP()
+
+	s2Q := rq.NewPoly(L)
+	rq.MulCoeffs(sk.Q, sk.Q, s2Q)
+
+	rlk := &RelinearizationKey{Digits: make([]EvaluationKeyDigit, L+1)}
+	for i := 0; i <= L; i++ {
+		// a_i is a uniform element of R_QP: independent uniform residues per
+		// prime are exactly a CRT-uniform element. The error e_i, however,
+		// must be one small integer polynomial, so it is sampled signed once
+		// and embedded into both rings.
+		aQ := kg.samplerQ.Uniform(L)
+		aP := kg.samplerP.Uniform(0)
+		eSigned := kg.samplerQ.GaussianSigned()
+		eQ := rq.SetSignedCoeffs(eSigned, L)
+		eP := rp.SetSignedCoeffs(eSigned, 0)
+		rq.NTT(eQ)
+		rp.NTT(eP)
+
+		bQ := rq.NewPoly(L)
+		rq.MulCoeffs(aQ, sk.Q, bQ)
+		rq.Neg(bQ, bQ)
+		rq.Add(bQ, eQ, bQ)
+		// Add P·g_i·s^2: the gadget term lives only on limb i, where it is
+		// (P mod q_i)·s^2.
+		qi := kg.params.Q()[i]
+		pModQi := kg.params.pModQ[i]
+		s2Limb := s2Q.Coeffs[i]
+		bLimb := bQ.Coeffs[i]
+		for j := range bLimb {
+			bLimb[j] = ring.AddMod(bLimb[j], ring.MulMod(s2Limb[j], pModQi, qi), qi)
+		}
+
+		bP := rp.NewPoly(0)
+		rp.MulCoeffs(aP, sk.P, bP)
+		rp.Neg(bP, bP)
+		rp.Add(bP, eP, bP)
+
+		rlk.Digits[i] = EvaluationKeyDigit{BQ: bQ, AQ: aQ, BP: bP, AP: aP}
+	}
+	return rlk
+}

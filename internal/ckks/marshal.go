@@ -1,0 +1,229 @@
+package ckks
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/efficientfhe/smartpaf/internal/ring"
+)
+
+// Binary serialization for the objects that cross the network in a private
+// inference deployment: the client ships an encrypted input and the public
+// evaluation keys; the server returns an encrypted result. Parameters
+// serialize as their literal — prime generation is deterministic, so both
+// sides derive identical chains.
+
+const marshalMagic = uint32(0x5AF7CC05)
+
+func writeU32(w io.Writer, v uint32) error { return binary.Write(w, binary.LittleEndian, v) }
+func writeU64(w io.Writer, v uint64) error { return binary.Write(w, binary.LittleEndian, v) }
+func readU32(r io.Reader) (uint32, error) {
+	var v uint32
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+func readU64(r io.Reader) (uint64, error) {
+	var v uint64
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func writePoly(w io.Writer, p *ring.Poly) error {
+	if err := writeU32(w, uint32(len(p.Coeffs))); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(len(p.Coeffs[0]))); err != nil {
+		return err
+	}
+	for _, limb := range p.Coeffs {
+		if err := binary.Write(w, binary.LittleEndian, limb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readPoly(r io.Reader) (*ring.Poly, error) {
+	limbs, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if limbs == 0 || limbs > 64 || n == 0 || n > 1<<20 {
+		return nil, fmt.Errorf("ckks: implausible poly header (%d limbs, N=%d)", limbs, n)
+	}
+	p := &ring.Poly{Coeffs: make([][]uint64, limbs)}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = make([]uint64, n)
+		if err := binary.Read(r, binary.LittleEndian, p.Coeffs[i]); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (lit ParametersLiteral) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := writeU32(&buf, marshalMagic); err != nil {
+		return nil, err
+	}
+	for _, v := range []uint32{uint32(lit.LogN), uint32(lit.LogP), uint32(lit.LogScale), uint32(len(lit.LogQ))} {
+		if err := writeU32(&buf, v); err != nil {
+			return nil, err
+		}
+	}
+	for _, q := range lit.LogQ {
+		if err := writeU32(&buf, uint32(q)); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (lit *ParametersLiteral) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if magic != marshalMagic {
+		return fmt.Errorf("ckks: bad magic %#x", magic)
+	}
+	var hdr [4]uint32
+	for i := range hdr {
+		if hdr[i], err = readU32(r); err != nil {
+			return err
+		}
+	}
+	lit.LogN, lit.LogP, lit.LogScale = int(hdr[0]), int(hdr[1]), int(hdr[2])
+	nq := int(hdr[3])
+	if nq <= 0 || nq > 64 {
+		return fmt.Errorf("ckks: implausible chain length %d", nq)
+	}
+	lit.LogQ = make([]int, nq)
+	for i := range lit.LogQ {
+		v, err := readU32(r)
+		if err != nil {
+			return err
+		}
+		lit.LogQ[i] = int(v)
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := writeU32(&buf, uint32(ct.Level)); err != nil {
+		return nil, err
+	}
+	if err := writeU64(&buf, uint64(floatBits(ct.Scale))); err != nil {
+		return nil, err
+	}
+	if err := writePoly(&buf, ct.C0); err != nil {
+		return nil, err
+	}
+	if err := writePoly(&buf, ct.C1); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (ct *Ciphertext) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	lvl, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	bits, err := readU64(r)
+	if err != nil {
+		return err
+	}
+	if ct.C0, err = readPoly(r); err != nil {
+		return err
+	}
+	if ct.C1, err = readPoly(r); err != nil {
+		return err
+	}
+	ct.Level = int(lvl)
+	ct.Scale = floatFromBits(bits)
+	if ct.C0.Level() != ct.Level || ct.C1.Level() != ct.Level {
+		return fmt.Errorf("ckks: ciphertext level %d does not match %d/%d limbs",
+			ct.Level, ct.C0.Level(), ct.C1.Level())
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (pk *PublicKey) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := writePoly(&buf, pk.B); err != nil {
+		return nil, err
+	}
+	if err := writePoly(&buf, pk.A); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (pk *PublicKey) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	var err error
+	if pk.B, err = readPoly(r); err != nil {
+		return err
+	}
+	pk.A, err = readPoly(r)
+	return err
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (rlk *RelinearizationKey) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := writeU32(&buf, uint32(len(rlk.Digits))); err != nil {
+		return nil, err
+	}
+	for i := range rlk.Digits {
+		d := &rlk.Digits[i]
+		for _, p := range []*ring.Poly{d.BQ, d.AQ, d.BP, d.AP} {
+			if err := writePoly(&buf, p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (rlk *RelinearizationKey) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	n, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if n == 0 || n > 64 {
+		return fmt.Errorf("ckks: implausible digit count %d", n)
+	}
+	rlk.Digits = make([]EvaluationKeyDigit, n)
+	for i := range rlk.Digits {
+		d := &rlk.Digits[i]
+		for _, dst := range []**ring.Poly{&d.BQ, &d.AQ, &d.BP, &d.AP} {
+			if *dst, err = readPoly(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,130 @@
+package ckks
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParametersLiteralRoundtrip(t *testing.T) {
+	lit := PN12
+	data, err := lit.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ParametersLiteral
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.LogN != lit.LogN || got.LogP != lit.LogP || got.LogScale != lit.LogScale || len(got.LogQ) != len(lit.LogQ) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, lit)
+	}
+	// Deterministic derivation: both sides build identical parameters.
+	p1, err := NewParameters(lit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewParameters(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Q() {
+		if p1.Q()[i] != p2.Q()[i] {
+			t.Fatal("prime chains differ after roundtrip")
+		}
+	}
+	if p1.P() != p2.P() {
+		t.Fatal("special primes differ")
+	}
+}
+
+func TestParametersLiteralBadInput(t *testing.T) {
+	var lit ParametersLiteral
+	if err := lit.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected error on truncated input")
+	}
+	good, _ := PN11.MarshalBinary()
+	good[0] ^= 0xFF
+	if err := lit.UnmarshalBinary(good); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestCiphertextRoundtripDecrypts(t *testing.T) {
+	tc := newTestContext(t, testLit)
+	rng := rand.New(rand.NewSource(77))
+	values := randomComplex(rng, tc.params.Slots(), 1)
+	pt, _ := tc.enc.Encode(values, 2, tc.params.DefaultScale())
+	ct := tc.encr.Encrypt(pt)
+
+	data, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Ciphertext
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Level != ct.Level || got.Scale != ct.Scale {
+		t.Fatalf("metadata mismatch: (%d, %g) vs (%d, %g)", got.Level, got.Scale, ct.Level, ct.Scale)
+	}
+	dec := tc.enc.Decode(tc.decr.Decrypt(&got))
+	if e := maxErr(values, dec); e > 1e-6 {
+		t.Fatalf("roundtripped ciphertext decrypts with error %g", e)
+	}
+}
+
+func TestCiphertextBadInput(t *testing.T) {
+	var ct Ciphertext
+	if err := ct.UnmarshalBinary([]byte{0}); err == nil {
+		t.Fatal("expected error on truncated ciphertext")
+	}
+}
+
+func TestPublicKeyRoundtripEncrypts(t *testing.T) {
+	tc := newTestContext(t, testLit)
+	data, err := tc.pk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pk PublicKey
+	if err := pk.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	encryptor := NewEncryptor(tc.params, &pk, 555)
+	values := make([]complex128, tc.params.Slots())
+	values[3] = complex(0.5, -0.25)
+	pt, _ := tc.enc.Encode(values, tc.params.MaxLevel(), tc.params.DefaultScale())
+	ct := encryptor.Encrypt(pt)
+	dec := tc.enc.Decode(tc.decr.Decrypt(ct))
+	if e := maxErr(values, dec); e > 1e-6 {
+		t.Fatalf("encryption under roundtripped pk fails: %g", e)
+	}
+}
+
+func TestRelinearizationKeyRoundtripMultiplies(t *testing.T) {
+	tc := newTestContext(t, testLit)
+	data, err := tc.rlk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rlk RelinearizationKey
+	if err := rlk.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	eval := NewEvaluator(tc.params, &rlk)
+	rng := rand.New(rand.NewSource(78))
+	a := randomComplex(rng, tc.params.Slots(), 1)
+	pa, _ := tc.enc.Encode(a, tc.params.MaxLevel(), tc.params.DefaultScale())
+	ca := tc.encr.Encrypt(pa)
+	prod, err := eval.MulRelinRescale(ca, ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, len(a))
+	for i := range a {
+		want[i] = a[i] * a[i]
+	}
+	if e := maxErr(want, tc.enc.Decode(tc.decr.Decrypt(prod))); e > 1e-4 {
+		t.Fatalf("multiplication under roundtripped rlk fails: %g", e)
+	}
+}

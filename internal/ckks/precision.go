@@ -1,0 +1,63 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// PrecisionStats summarizes how faithfully a decrypted vector matches its
+// reference: the standard report of HE libraries.
+type PrecisionStats struct {
+	MaxErr  float64
+	MeanErr float64
+	// MinLog2Prec is the worst-slot precision: -log2(MaxErr).
+	MinLog2Prec float64
+	// MeanLog2Prec is -log2(MeanErr).
+	MeanLog2Prec float64
+	Slots        int
+}
+
+// Precision compares want against got slot-wise.
+func Precision(want, got []complex128) PrecisionStats {
+	n := min(len(want), len(got))
+	var worst, sum float64
+	for i := 0; i < n; i++ {
+		d := cmplx.Abs(want[i] - got[i])
+		sum += d
+		if d > worst {
+			worst = d
+		}
+	}
+	stats := PrecisionStats{MaxErr: worst, MeanErr: sum / float64(max(n, 1)), Slots: n}
+	if worst > 0 {
+		stats.MinLog2Prec = -math.Log2(worst)
+	} else {
+		stats.MinLog2Prec = math.Inf(1)
+	}
+	if stats.MeanErr > 0 {
+		stats.MeanLog2Prec = -math.Log2(stats.MeanErr)
+	} else {
+		stats.MeanLog2Prec = math.Inf(1)
+	}
+	return stats
+}
+
+// PrecisionReals compares real vectors.
+func PrecisionReals(want, got []float64) PrecisionStats {
+	cw := make([]complex128, len(want))
+	cg := make([]complex128, len(got))
+	for i := range want {
+		cw[i] = complex(want[i], 0)
+	}
+	for i := range got {
+		cg[i] = complex(got[i], 0)
+	}
+	return Precision(cw, cg)
+}
+
+// String implements fmt.Stringer.
+func (s PrecisionStats) String() string {
+	return fmt.Sprintf("max err %.2e (%.1f bits), mean err %.2e (%.1f bits) over %d slots",
+		s.MaxErr, s.MinLog2Prec, s.MeanErr, s.MeanLog2Prec, s.Slots)
+}

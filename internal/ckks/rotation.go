@@ -1,0 +1,195 @@
+package ckks
+
+import (
+	"fmt"
+
+	"github.com/efficientfhe/smartpaf/internal/ring"
+)
+
+// SwitchingKey re-encrypts a ciphertext component from some source key to
+// the canonical secret s, using the same per-prime gadget as
+// relinearization: digit i holds (-a_i·s + e_i + P·g_i·source, a_i).
+type SwitchingKey struct {
+	Digits []EvaluationKeyDigit
+}
+
+// RotationKeySet holds switching keys for slot rotations (by step) and
+// complex conjugation.
+type RotationKeySet struct {
+	keys        map[int]*SwitchingKey // step -> key for φ_{5^step}(s)
+	conjugation *SwitchingKey
+	params      *Parameters
+}
+
+// galoisElement returns the Galois exponent k of X→X^k implementing a left
+// rotation of the slot vector by step positions: k = 5^step mod 2N.
+func (p *Parameters) galoisElement(step int) int {
+	m := 2 * p.N()
+	step = ((step % (m / 4)) + m/4) % (m / 4) // rotations are mod N/2 slots
+	k := 1
+	for i := 0; i < step; i++ {
+		k = k * 5 % m
+	}
+	return k
+}
+
+// applyAutomorphism computes out(X) = in(X^k) in coefficient domain, per
+// limb: coefficient i maps to index i·k mod 2N, negated when it crosses N.
+func applyAutomorphism(r *ring.Ring, in *ring.Poly, k int) *ring.Poly {
+	n := r.N
+	m := 2 * n
+	out := r.NewPoly(in.Level())
+	for limb := range in.Coeffs {
+		q := r.Moduli[limb].Q
+		src := in.Coeffs[limb]
+		dst := out.Coeffs[limb]
+		for i := 0; i < n; i++ {
+			j := i * k % m
+			if j < n {
+				dst[j] = src[i]
+			} else {
+				dst[j-n] = ring.NegMod(src[i], q)
+			}
+		}
+	}
+	return out
+}
+
+// genSwitchingKey builds a switching key from sourceQ/sourceP (NTT domain,
+// the key being switched *from*) to the canonical secret.
+func (kg *KeyGenerator) genSwitchingKey(sk *SecretKey, sourceQ, sourceP *ring.Poly) *SwitchingKey {
+	L := kg.params.MaxLevel()
+	rq := kg.params.RingQ()
+	rp := kg.params.RingP()
+	swk := &SwitchingKey{Digits: make([]EvaluationKeyDigit, L+1)}
+	_ = sourceP // the P-limb of the gadget term is zero (multiplied by P)
+	for i := 0; i <= L; i++ {
+		aQ := kg.samplerQ.Uniform(L)
+		aP := kg.samplerP.Uniform(0)
+		eSigned := kg.samplerQ.GaussianSigned()
+		eQ := rq.SetSignedCoeffs(eSigned, L)
+		eP := rp.SetSignedCoeffs(eSigned, 0)
+		rq.NTT(eQ)
+		rp.NTT(eP)
+
+		bQ := rq.NewPoly(L)
+		rq.MulCoeffs(aQ, sk.Q, bQ)
+		rq.Neg(bQ, bQ)
+		rq.Add(bQ, eQ, bQ)
+		qi := kg.params.Q()[i]
+		pModQi := kg.params.pModQ[i]
+		srcLimb := sourceQ.Coeffs[i]
+		bLimb := bQ.Coeffs[i]
+		for j := range bLimb {
+			bLimb[j] = ring.AddMod(bLimb[j], ring.MulMod(srcLimb[j], pModQi, qi), qi)
+		}
+
+		bP := rp.NewPoly(0)
+		rp.MulCoeffs(aP, sk.P, bP)
+		rp.Neg(bP, bP)
+		rp.Add(bP, eP, bP)
+		swk.Digits[i] = EvaluationKeyDigit{BQ: bQ, AQ: aQ, BP: bP, AP: aP}
+	}
+	return swk
+}
+
+// GenRotationKeys builds switching keys for the given rotation steps
+// (positive = rotate slot vector left) and, when conjugation is true, for
+// complex conjugation.
+func (kg *KeyGenerator) GenRotationKeys(sk *SecretKey, steps []int, conjugation bool) *RotationKeySet {
+	rks := &RotationKeySet{keys: map[int]*SwitchingKey{}, params: kg.params}
+	rq := kg.params.RingQ()
+	rp := kg.params.RingP()
+	for _, step := range steps {
+		norm := normalizeStep(step, kg.params.Slots())
+		if norm == 0 {
+			continue
+		}
+		if _, ok := rks.keys[norm]; ok {
+			continue
+		}
+		k := kg.params.galoisElement(norm)
+		// Source key is φ_k(s): apply the automorphism to s in coefficient
+		// domain for both rings.
+		skQ := sk.Q.CopyNew()
+		rq.INTT(skQ)
+		srcQ := applyAutomorphism(rq, skQ, k)
+		rq.NTT(srcQ)
+		skP := sk.P.CopyNew()
+		rp.INTT(skP)
+		srcP := applyAutomorphism(rp, skP, k)
+		rp.NTT(srcP)
+		rks.keys[norm] = kg.genSwitchingKey(sk, srcQ, srcP)
+	}
+	if conjugation {
+		k := 2*kg.params.N() - 1
+		skQ := sk.Q.CopyNew()
+		rq.INTT(skQ)
+		srcQ := applyAutomorphism(rq, skQ, k)
+		rq.NTT(srcQ)
+		skP := sk.P.CopyNew()
+		rp.INTT(skP)
+		srcP := applyAutomorphism(rp, skP, k)
+		rp.NTT(srcP)
+		rks.conjugation = kg.genSwitchingKey(sk, srcQ, srcP)
+	}
+	return rks
+}
+
+func normalizeStep(step, slots int) int {
+	return ((step % slots) + slots) % slots
+}
+
+// WithRotationKeys attaches rotation keys to the evaluator.
+func (ev *Evaluator) WithRotationKeys(rks *RotationKeySet) *Evaluator {
+	ev.rks = rks
+	return ev
+}
+
+// Rotate rotates the slot vector left by step positions (z_i ← z_{i+step}).
+// Negative steps rotate right. Requires a rotation key for the normalized
+// step.
+func (ev *Evaluator) Rotate(ct *Ciphertext, step int) (*Ciphertext, error) {
+	norm := normalizeStep(step, ev.params.Slots())
+	if norm == 0 {
+		return ct.CopyNew(), nil
+	}
+	if ev.rks == nil {
+		return nil, fmt.Errorf("ckks: evaluator has no rotation keys")
+	}
+	swk, ok := ev.rks.keys[norm]
+	if !ok {
+		return nil, fmt.Errorf("ckks: no rotation key for step %d", norm)
+	}
+	return ev.applyGalois(ct, ev.params.galoisElement(norm), swk)
+}
+
+// Conjugate applies complex conjugation to all slots.
+func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
+	if ev.rks == nil || ev.rks.conjugation == nil {
+		return nil, fmt.Errorf("ckks: evaluator has no conjugation key")
+	}
+	return ev.applyGalois(ct, 2*ev.params.N()-1, ev.rks.conjugation)
+}
+
+// applyGalois maps (c0, c1) to (φ(c0) + KS(φ(c1))) under the switching key
+// for φ(s).
+func (ev *Evaluator) applyGalois(ct *Ciphertext, k int, swk *SwitchingKey) (*Ciphertext, error) {
+	rq := ev.params.RingQ()
+	level := ct.Level
+
+	c0 := ct.C0.CopyNew()
+	rq.INTT(c0)
+	c0 = applyAutomorphism(rq, c0, k)
+	rq.NTT(c0)
+
+	c1 := ct.C1.CopyNew()
+	rq.INTT(c1)
+	c1 = applyAutomorphism(rq, c1, k)
+	rq.NTT(c1)
+
+	ks0, ks1 := ev.keySwitch(c1, swk.Digits, level)
+	out := &Ciphertext{C0: rq.NewPoly(level), C1: ks1, Scale: ct.Scale, Level: level}
+	rq.Add(c0, ks0, out.C0)
+	return out, nil
+}

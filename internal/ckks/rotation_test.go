@@ -1,0 +1,155 @@
+package ckks
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func newRotationContext(t *testing.T, steps []int, conj bool) (*testContext, *RotationKeySet) {
+	t.Helper()
+	tc := newTestContext(t, testLit)
+	rks := tc.kg.GenRotationKeys(tc.sk, steps, conj)
+	tc.eval.WithRotationKeys(rks)
+	return tc, rks
+}
+
+func TestRotateMatchesPlaintextShift(t *testing.T) {
+	tc, _ := newRotationContext(t, []int{1, 3, 7}, false)
+	rng := rand.New(rand.NewSource(21))
+	values := randomComplex(rng, tc.params.Slots(), 1)
+	pt, _ := tc.enc.Encode(values, tc.params.MaxLevel(), tc.params.DefaultScale())
+	ct := tc.encr.Encrypt(pt)
+
+	for _, step := range []int{1, 3, 7} {
+		rot, err := tc.eval.Rotate(ct, step)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		got := tc.enc.Decode(tc.decr.Decrypt(rot))
+		slots := tc.params.Slots()
+		want := make([]complex128, slots)
+		for i := range want {
+			want[i] = values[(i+step)%slots]
+		}
+		if e := maxErr(want, got); e > 1e-4 {
+			t.Fatalf("step %d: rotation error %g", step, e)
+		}
+		if rot.Level != ct.Level {
+			t.Fatalf("rotation changed level: %d -> %d", ct.Level, rot.Level)
+		}
+		if rot.Scale != ct.Scale {
+			t.Fatalf("rotation changed scale")
+		}
+	}
+}
+
+func TestRotateNegativeAndWraparound(t *testing.T) {
+	slots := 64 // testLit has LogN 7
+	tc, _ := newRotationContext(t, []int{-2, slots + 5}, false)
+	rng := rand.New(rand.NewSource(22))
+	values := randomComplex(rng, slots, 1)
+	pt, _ := tc.enc.Encode(values, tc.params.MaxLevel(), tc.params.DefaultScale())
+	ct := tc.encr.Encrypt(pt)
+
+	for _, step := range []int{-2, slots + 5} {
+		rot, err := tc.eval.Rotate(ct, step)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		got := tc.enc.Decode(tc.decr.Decrypt(rot))
+		want := make([]complex128, slots)
+		for i := range want {
+			want[i] = values[((i+step)%slots+slots)%slots]
+		}
+		if e := maxErr(want, got); e > 1e-4 {
+			t.Fatalf("step %d: error %g", step, e)
+		}
+	}
+}
+
+func TestRotateZeroIsIdentity(t *testing.T) {
+	tc, _ := newRotationContext(t, []int{1}, false)
+	values := make([]complex128, tc.params.Slots())
+	values[0] = 1
+	pt, _ := tc.enc.Encode(values, 1, tc.params.DefaultScale())
+	ct := tc.encr.Encrypt(pt)
+	rot, err := tc.eval.Rotate(ct, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(values, tc.enc.Decode(tc.decr.Decrypt(rot))); e > 1e-5 {
+		t.Fatalf("zero rotation error %g", e)
+	}
+}
+
+func TestRotateMissingKey(t *testing.T) {
+	tc, _ := newRotationContext(t, []int{1}, false)
+	pt, _ := tc.enc.Encode(make([]complex128, tc.params.Slots()), 1, tc.params.DefaultScale())
+	ct := tc.encr.Encrypt(pt)
+	if _, err := tc.eval.Rotate(ct, 5); err == nil {
+		t.Fatal("expected missing-key error")
+	}
+	bare := NewEvaluator(tc.params, tc.rlk)
+	if _, err := bare.Rotate(ct, 1); err == nil {
+		t.Fatal("expected no-keys error")
+	}
+}
+
+func TestConjugate(t *testing.T) {
+	tc, _ := newRotationContext(t, nil, true)
+	rng := rand.New(rand.NewSource(23))
+	values := randomComplex(rng, tc.params.Slots(), 1)
+	pt, _ := tc.enc.Encode(values, tc.params.MaxLevel(), tc.params.DefaultScale())
+	ct := tc.encr.Encrypt(pt)
+	conj, err := tc.eval.Conjugate(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tc.enc.Decode(tc.decr.Decrypt(conj))
+	want := make([]complex128, len(values))
+	for i, v := range values {
+		want[i] = cmplx.Conj(v)
+	}
+	if e := maxErr(want, got); e > 1e-4 {
+		t.Fatalf("conjugation error %g", e)
+	}
+}
+
+func TestRotateComposesWithArithmetic(t *testing.T) {
+	// rot(a) + rot(b) == rot(a+b): rotation must commute with addition.
+	tc, _ := newRotationContext(t, []int{4}, false)
+	rng := rand.New(rand.NewSource(24))
+	a := randomComplex(rng, tc.params.Slots(), 1)
+	b := randomComplex(rng, tc.params.Slots(), 1)
+	pa, _ := tc.enc.Encode(a, tc.params.MaxLevel(), tc.params.DefaultScale())
+	pb, _ := tc.enc.Encode(b, tc.params.MaxLevel(), tc.params.DefaultScale())
+	ca := tc.encr.Encrypt(pa)
+	cb := tc.encr.Encrypt(pb)
+
+	ra, err := tc.eval.Rotate(ca, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := tc.eval.Rotate(cb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs, err := tc.eval.Add(ra, rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := tc.eval.Add(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs, err := tc.eval.Rotate(sum, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl := tc.enc.Decode(tc.decr.Decrypt(lhs))
+	gr := tc.enc.Decode(tc.decr.Decrypt(rhs))
+	if e := maxErr(gl, gr); e > 1e-4 {
+		t.Fatalf("rotation does not commute with addition: %g", e)
+	}
+}

@@ -1,0 +1,199 @@
+package henn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/efficientfhe/smartpaf/internal/ckks"
+)
+
+// The Halevi–Shoup baby-step/giant-step (BSGS) evaluation of the diagonal
+// method: writing each diagonal index d = g·n1 + b,
+//
+//	Wx = Σ_g rot( Σ_b rot^{-g·n1}(u_{g·n1+b}) ⊙ rot(x, b), g·n1 )
+//
+// needs only the baby rotations b ∈ [1, n1) and giant rotations g·n1 —
+// O(√slots) keys and key switches instead of one per non-zero diagonal.
+// Plaintext diagonals are rotated for free.
+
+// bsgsSplit returns the baby-step size for the slot count.
+func bsgsSplit(slots int) int {
+	n1 := int(math.Ceil(math.Sqrt(float64(slots))))
+	if n1 < 1 {
+		n1 = 1
+	}
+	return n1
+}
+
+// RequiredRotationsBSGS lists the rotation steps ApplyLinearBSGS needs for
+// every linear layer of the MLP: baby steps and the giant steps actually
+// used by non-zero diagonal blocks.
+func (mlp *MLP) RequiredRotationsBSGS(slots int) []int {
+	n1 := bsgsSplit(slots)
+	seen := map[int]bool{}
+	for _, l := range mlp.Layers {
+		lin, ok := l.(*Linear)
+		if !ok {
+			continue
+		}
+		babies, giants := lin.bsgsBlocks(slots, n1)
+		for b := range babies {
+			if b != 0 {
+				seen[b] = true
+			}
+		}
+		for g := range giants {
+			if g != 0 {
+				seen[g*n1] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// bsgsBlocks returns the baby indices and giant block indices with any
+// non-zero diagonal.
+func (l *Linear) bsgsBlocks(slots, n1 int) (babies, giants map[int]bool) {
+	babies = map[int]bool{}
+	giants = map[int]bool{}
+	for _, d := range l.diagonals(slots) {
+		babies[d%n1] = true
+		giants[d/n1] = true
+	}
+	return babies, giants
+}
+
+// ApplyLinearBSGS computes Wx + b with the BSGS diagonal method; output and
+// level accounting are identical to ApplyLinear (one level consumed).
+func (ctx *Context) ApplyLinearBSGS(l *Linear, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	slots := ctx.Params.Slots()
+	if l.In > slots || l.Out > slots {
+		return nil, fmt.Errorf("henn: layer %dx%d exceeds %d slots", l.Out, l.In, slots)
+	}
+	if ct.Level < 1 {
+		return nil, fmt.Errorf("henn: no level left for linear layer")
+	}
+	n1 := bsgsSplit(slots)
+	targetScale := ct.Scale
+	constScale := float64(ctx.Params.Q()[ct.Level]) // lands back on targetScale after rescale
+
+	nonzero := map[int]bool{}
+	for _, d := range l.diagonals(slots) {
+		nonzero[d] = true
+	}
+	if len(nonzero) == 0 {
+		return nil, fmt.Errorf("henn: all-zero weight matrix")
+	}
+
+	// Baby rotations, computed lazily.
+	babyCache := map[int]*ckks.Ciphertext{0: ct}
+	baby := func(b int) (*ckks.Ciphertext, error) {
+		if r, ok := babyCache[b]; ok {
+			return r, nil
+		}
+		r, err := ctx.Eval.Rotate(ct, b)
+		if err != nil {
+			return nil, err
+		}
+		babyCache[b] = r
+		return r, nil
+	}
+
+	var acc *ckks.Ciphertext
+	for g := 0; g*n1 < slots; g++ {
+		// Inner sum over baby steps for this giant block.
+		var inner *ckks.Ciphertext
+		for b := 0; b < n1; b++ {
+			d := g*n1 + b
+			if !nonzero[d] {
+				continue
+			}
+			diag := make([]float64, slots)
+			for i := 0; i < l.Out; i++ {
+				j := (i + d) % slots
+				if j < l.In {
+					diag[i] = l.W[i][j]
+				}
+			}
+			// Plaintext rotation by -g·n1 (free).
+			rotated := make([]float64, slots)
+			shift := g * n1
+			for i := range diag {
+				rotated[(i+shift)%slots] = diag[i]
+			}
+			rb, err := baby(b)
+			if err != nil {
+				return nil, fmt.Errorf("henn: baby rotation %d: %w", b, err)
+			}
+			pt, err := ctx.Enc.EncodeReals(rotated, rb.Level, constScale)
+			if err != nil {
+				return nil, err
+			}
+			term := ctx.Eval.MulPlain(rb, pt)
+			if inner == nil {
+				inner = term
+				continue
+			}
+			if inner, err = ctx.Eval.Add(inner, term); err != nil {
+				return nil, err
+			}
+		}
+		if inner == nil {
+			continue
+		}
+		rotated, err := ctx.Eval.Rotate(inner, g*n1)
+		if err != nil {
+			return nil, fmt.Errorf("henn: giant rotation %d: %w", g*n1, err)
+		}
+		if acc == nil {
+			acc = rotated
+			continue
+		}
+		if acc, err = ctx.Eval.Add(acc, rotated); err != nil {
+			return nil, err
+		}
+	}
+
+	out, err := ctx.Eval.Rescale(acc)
+	if err != nil {
+		return nil, err
+	}
+	out.Scale = targetScale
+	if l.B != nil {
+		bias := make([]float64, slots)
+		copy(bias, l.B)
+		pt, err := ctx.Enc.EncodeReals(bias, out.Level, out.Scale)
+		if err != nil {
+			return nil, err
+		}
+		if out, err = ctx.Eval.AddPlain(out, pt); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// InferBSGS runs the MLP using BSGS linear layers.
+func (ctx *Context) InferBSGS(mlp *MLP, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	var err error
+	for i, l := range mlp.Layers {
+		switch v := l.(type) {
+		case *Linear:
+			ct, err = ctx.ApplyLinearBSGS(v, ct)
+		case *Activation:
+			ct, err = ctx.ApplyActivation(v, ct)
+		default:
+			err = fmt.Errorf("henn: unknown layer type %T", l)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("henn: layer %d: %w", i, err)
+		}
+	}
+	return ct, nil
+}

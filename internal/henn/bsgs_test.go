@@ -1,0 +1,117 @@
+package henn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/efficientfhe/smartpaf/internal/paf"
+)
+
+func randomLinear(rng *rand.Rand, in, out int) *Linear {
+	l := &Linear{In: in, Out: out, B: make([]float64, out)}
+	l.W = make([][]float64, out)
+	for i := range l.W {
+		l.W[i] = make([]float64, in)
+		for j := range l.W[i] {
+			l.W[i][j] = rng.NormFloat64() * 0.5
+		}
+		l.B[i] = rng.NormFloat64() * 0.1
+	}
+	return l
+}
+
+func TestBSGSMatchesNaiveDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	lin := randomLinear(rng, 20, 12)
+	mlp := &MLP{Layers: []any{lin}}
+	slots := 128
+	// Union of both methods' rotation needs.
+	steps := append(mlp.RequiredRotations(slots), mlp.RequiredRotationsBSGS(slots)...)
+	ctx, encryptor, decryptor := newHEContext(t, 2, steps)
+
+	x := make([]float64, 20)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	vec := make([]float64, ctx.Params.Slots())
+	copy(vec, x)
+	pt, err := ctx.Enc.EncodeReals(vec, ctx.Params.MaxLevel(), ctx.Params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := encryptor.Encrypt(pt)
+
+	naive, err := ctx.ApplyLinear(lin, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsgs, err := ctx.ApplyLinearBSGS(lin, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gn := ctx.Enc.DecodeReals(decryptor.Decrypt(naive))
+	gb := ctx.Enc.DecodeReals(decryptor.Decrypt(bsgs))
+	want := mlp.InferPlain(x)
+	for i := 0; i < lin.Out; i++ {
+		if d := math.Abs(gn[i] - want[i]); d > 1e-4 {
+			t.Fatalf("naive output %d off by %g", i, d)
+		}
+		if d := math.Abs(gb[i] - want[i]); d > 1e-4 {
+			t.Fatalf("bsgs output %d off by %g", i, d)
+		}
+	}
+	if bsgs.Level != naive.Level || bsgs.Scale != naive.Scale {
+		t.Fatalf("bsgs level/scale (%d, %g) differ from naive (%d, %g)",
+			bsgs.Level, bsgs.Scale, naive.Level, naive.Scale)
+	}
+}
+
+func TestBSGSNeedsFewerRotations(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// A dense wide layer: the regime BSGS exists for.
+	lin := randomLinear(rng, 100, 64)
+	mlp := &MLP{Layers: []any{lin}}
+	slots := 128
+	naive := len(mlp.RequiredRotations(slots))
+	bsgs := len(mlp.RequiredRotationsBSGS(slots))
+	if bsgs >= naive {
+		t.Fatalf("BSGS needs %d rotations, naive %d — no saving", bsgs, naive)
+	}
+	// Asymptotically ~2√slots vs ~in+out.
+	if bsgs > 4*int(math.Sqrt(float64(slots))) {
+		t.Fatalf("BSGS rotation count %d far above O(√slots)", bsgs)
+	}
+}
+
+func TestInferBSGSEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mlp := &MLP{Layers: []any{
+		randomLinear(rng, 16, 10),
+		&Activation{PAF: paf.MustNew(paf.FormF1G2), Scale: 4},
+		randomLinear(rng, 10, 4),
+	}}
+	ctx, encryptor, decryptor := newHEContext(t, mlp.LevelsRequired()+1, mlp.RequiredRotationsBSGS(128))
+
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = rng.Float64() - 0.5
+	}
+	vec := make([]float64, ctx.Params.Slots())
+	copy(vec, x)
+	pt, err := ctx.Enc.EncodeReals(vec, ctx.Params.MaxLevel(), ctx.Params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx.InferBSGS(mlp, encryptor.Encrypt(pt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ctx.Enc.DecodeReals(decryptor.Decrypt(out))
+	want := mlp.InferPlain(x)
+	for i := 0; i < 4; i++ {
+		if d := math.Abs(got[i] - want[i]); d > 1e-2*(1+math.Abs(want[i])) {
+			t.Fatalf("logit %d: encrypted %g plaintext %g", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package henn runs neural-network inference directly on CKKS ciphertexts:
+// plaintext-weight linear layers via the Halevi–Shoup diagonal method
+// (rotations + plaintext multiplications) and PAF activations via
+// internal/hepoly, with Static Scaling folded in for free. Together with the
+// SMART-PAF training pipeline this closes the loop of Fig. 2: a model whose
+// non-polynomial operators were replaced and fine-tuned in the clear is
+// evaluated end-to-end under encryption.
+package henn
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/efficientfhe/smartpaf/internal/ckks"
+	"github.com/efficientfhe/smartpaf/internal/hepoly"
+	"github.com/efficientfhe/smartpaf/internal/nn"
+	"github.com/efficientfhe/smartpaf/internal/paf"
+)
+
+// Linear is a plaintext-weight fully connected layer applied to an encrypted
+// activation vector laid out in the first In slots.
+type Linear struct {
+	In, Out int
+	W       [][]float64 // W[i][j]: weight from input j to output i
+	B       []float64
+}
+
+// Activation is a deployed PAF activation: out = Scale·relu_p(x/Scale).
+type Activation struct {
+	PAF   *paf.Composite
+	Scale float64
+}
+
+// MLP is a sequence of Linear and Activation layers.
+type MLP struct {
+	Layers []any
+}
+
+// FromModel extracts an encrypted-inference MLP from a trained nn.Model.
+// The model must be MLP-shaped (Flatten/Linear/PAF-activation layers only)
+// and deployed (static scaling); anything else is an error.
+func FromModel(m *nn.Model) (*MLP, error) {
+	if err := m.CheckFHECompatible(); err != nil {
+		return nil, fmt.Errorf("henn: %w", err)
+	}
+	out := &MLP{}
+	for _, s := range m.Slots() {
+		if s.Kind != nn.SlotReLU {
+			return nil, fmt.Errorf("henn: slot %d is %s; only MLPs (ReLU slots) are supported", s.Index, s.Kind)
+		}
+	}
+	params := m.Params()
+	slotIdx := 0
+	slots := m.Slots()
+	// Walk parameters: nn.Linear contributes (w, b) pairs in order; PAF
+	// activations contribute their stage params which we skip here (the
+	// composite is taken from the slot).
+	for i := 0; i < len(params); i++ {
+		p := params[i]
+		if p.Group != nn.GroupLinear {
+			continue
+		}
+		// Expect weight then bias.
+		if i+1 >= len(params) || params[i+1].Group != nn.GroupLinear {
+			return nil, fmt.Errorf("henn: unpaired linear parameter %q", p.Name)
+		}
+		w, b := p, params[i+1]
+		i++
+		in := len(w.Data) / len(b.Data)
+		outDim := len(b.Data)
+		lin := &Linear{In: in, Out: outDim, B: append([]float64(nil), b.Data...)}
+		lin.W = make([][]float64, outDim)
+		for r := 0; r < outDim; r++ {
+			lin.W[r] = make([]float64, in)
+			for c := 0; c < in; c++ {
+				// nn.Linear stores W[in][out] row-major.
+				lin.W[r][c] = w.Data[c*outDim+r]
+			}
+		}
+		out.Layers = append(out.Layers, lin)
+		// One activation follows each hidden linear layer.
+		if slotIdx < len(slots) {
+			act := slots[slotIdx].PAFLayer().(*nn.PAFAct)
+			out.Layers = append(out.Layers, &Activation{PAF: act.PAF.Clone(), Scale: act.Scale})
+			slotIdx++
+		}
+	}
+	if slotIdx != len(slots) {
+		return nil, fmt.Errorf("henn: %d activations matched for %d slots", slotIdx, len(slots))
+	}
+	return out, nil
+}
+
+// RequiredRotations returns the sorted rotation steps every linear layer
+// needs under the diagonal method at the given slot count.
+func (mlp *MLP) RequiredRotations(slots int) []int {
+	seen := map[int]bool{}
+	for _, l := range mlp.Layers {
+		lin, ok := l.(*Linear)
+		if !ok {
+			continue
+		}
+		for _, d := range lin.diagonals(slots) {
+			if d != 0 {
+				seen[d] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LevelsRequired returns the multiplicative levels one inference consumes:
+// one per linear layer (diagonal plaintext product) plus DepthReLU+1 per
+// activation (the +1 is the 1/Scale input normalization).
+func (mlp *MLP) LevelsRequired() int {
+	total := 0
+	for _, l := range mlp.Layers {
+		switch v := l.(type) {
+		case *Linear:
+			total++
+		case *Activation:
+			total += v.PAF.DepthReLU() + 1
+		}
+	}
+	return total
+}
+
+// diagonals lists the generalized diagonals d with any nonzero entry:
+// u_d[i] = W[i][(i+d) mod slots].
+func (l *Linear) diagonals(slots int) []int {
+	var out []int
+	for d := 0; d < slots; d++ {
+		nonzero := false
+		for i := 0; i < l.Out; i++ {
+			j := (i + d) % slots
+			if j < l.In && l.W[i][j] != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if nonzero {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Context bundles the machinery for encrypted inference.
+type Context struct {
+	Params *ckks.Parameters
+	Enc    *ckks.Encoder
+	Eval   *ckks.Evaluator // must hold relinearization + rotation keys
+	HE     *hepoly.Evaluator
+}
+
+// NewContext wires a context from an evaluator with keys attached.
+func NewContext(params *ckks.Parameters, enc *ckks.Encoder, eval *ckks.Evaluator) *Context {
+	return &Context{Params: params, Enc: enc, Eval: eval, HE: hepoly.NewEvaluator(eval)}
+}
+
+// ApplyLinear computes Wx + b on the encrypted vector via the diagonal
+// method, consuming one level. The result keeps the input's scale.
+func (ctx *Context) ApplyLinear(l *Linear, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	slots := ctx.Params.Slots()
+	if l.In > slots || l.Out > slots {
+		return nil, fmt.Errorf("henn: layer %dx%d exceeds %d slots", l.Out, l.In, slots)
+	}
+	if ct.Level < 1 {
+		return nil, fmt.Errorf("henn: no level left for linear layer")
+	}
+	targetScale := ct.Scale
+	ql := float64(ctx.Params.Q()[ct.Level])
+	constScale := targetScale * ql / ct.Scale // = ql: lands back on targetScale
+
+	var acc *ckks.Ciphertext
+	for _, d := range l.diagonals(slots) {
+		rot, err := ctx.Eval.Rotate(ct, d)
+		if err != nil {
+			return nil, fmt.Errorf("henn: diagonal %d: %w", d, err)
+		}
+		diag := make([]float64, slots)
+		for i := 0; i < l.Out; i++ {
+			j := (i + d) % slots
+			if j < l.In {
+				diag[i] = l.W[i][j]
+			}
+		}
+		pt, err := ctx.Enc.EncodeReals(diag, rot.Level, constScale)
+		if err != nil {
+			return nil, err
+		}
+		term := ctx.Eval.MulPlain(rot, pt)
+		if acc == nil {
+			acc = term
+			continue
+		}
+		if acc, err = ctx.Eval.Add(acc, term); err != nil {
+			return nil, err
+		}
+	}
+	if acc == nil {
+		return nil, fmt.Errorf("henn: all-zero weight matrix")
+	}
+	out, err := ctx.Eval.Rescale(acc)
+	if err != nil {
+		return nil, err
+	}
+	out.Scale = targetScale
+	// Bias.
+	if l.B != nil {
+		bias := make([]float64, slots)
+		copy(bias, l.B)
+		pt, err := ctx.Enc.EncodeReals(bias, out.Level, out.Scale)
+		if err != nil {
+			return nil, err
+		}
+		if out, err = ctx.Eval.AddPlain(out, pt); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ApplyActivation computes Scale·relu_p(x/Scale): one constant level for the
+// input normalization, then the folded-scale PAF ReLU.
+func (ctx *Context) ApplyActivation(a *Activation, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	u, err := ctx.Eval.MulConstTargetScale(ct, 1/a.Scale, ct.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.HE.ReLUScaled(a.PAF, u, a.Scale)
+}
+
+// Infer runs the full MLP on an encrypted input vector.
+func (ctx *Context) Infer(mlp *MLP, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	var err error
+	for i, l := range mlp.Layers {
+		switch v := l.(type) {
+		case *Linear:
+			ct, err = ctx.ApplyLinear(v, ct)
+		case *Activation:
+			ct, err = ctx.ApplyActivation(v, ct)
+		default:
+			err = fmt.Errorf("henn: unknown layer type %T", l)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("henn: layer %d: %w", i, err)
+		}
+	}
+	return ct, nil
+}
+
+// InferPlain evaluates the same MLP on a plaintext vector (the reference for
+// precision tests and the demo).
+func (mlp *MLP) InferPlain(x []float64) []float64 {
+	cur := append([]float64(nil), x...)
+	for _, l := range mlp.Layers {
+		switch v := l.(type) {
+		case *Linear:
+			next := make([]float64, v.Out)
+			for i := 0; i < v.Out; i++ {
+				s := v.B[i]
+				for j := 0; j < v.In && j < len(cur); j++ {
+					s += v.W[i][j] * cur[j]
+				}
+				next[i] = s
+			}
+			cur = next
+		case *Activation:
+			for i := range cur {
+				cur[i] = v.Scale * v.PAF.ReLU(cur[i]/v.Scale)
+			}
+		}
+	}
+	return cur
+}

@@ -1,0 +1,201 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/efficientfhe/smartpaf/internal/tensor"
+)
+
+// Conv2D is a standard 2D convolution (NCHW, square kernel) implemented via
+// im2col + matrix multiplication.
+type Conv2D struct {
+	InC, OutC, Kernel, Stride, Pad int
+
+	W, B  *Param // W laid out [InC*K*K, OutC]
+	label string
+
+	cols *tensor.Tensor
+	geom tensor.ConvGeom
+	n    int
+}
+
+// NewConv2D builds a conv layer with He initialization.
+func NewConv2D(name string, inC, outC, kernel, stride, pad int, rng *rand.Rand) *Conv2D {
+	c := &Conv2D{InC: inC, OutC: outC, Kernel: kernel, Stride: stride, Pad: pad, label: name}
+	fanIn := inC * kernel * kernel
+	w := make([]float64, fanIn*outC)
+	std := math.Sqrt(2.0 / float64(fanIn))
+	for i := range w {
+		w[i] = rng.NormFloat64() * std
+	}
+	c.W = newParam(name+".w", GroupLinear, w)
+	c.B = newParam(name+".b", GroupLinear, make([]float64, outC))
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.label }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	c.n = x.Shape[0]
+	c.geom = tensor.Geometry(c.InC, x.Shape[2], x.Shape[3], c.Kernel, c.Stride, c.Pad)
+	c.cols = tensor.Im2Col(x, c.geom)
+	w := tensor.FromSlice(c.W.Data, c.InC*c.Kernel*c.Kernel, c.OutC)
+	// [N*oh*ow, fanIn] × [fanIn, OutC]
+	prod := tensor.MatMul(c.cols, w)
+	// Rearrange [N*oh*ow, OutC] -> [N, OutC, oh, ow] and add bias.
+	out := tensor.New(c.n, c.OutC, c.geom.OutH, c.geom.OutW)
+	hw := c.geom.OutH * c.geom.OutW
+	for b := 0; b < c.n; b++ {
+		for pix := 0; pix < hw; pix++ {
+			src := (b*hw + pix) * c.OutC
+			for oc := 0; oc < c.OutC; oc++ {
+				out.Data[(b*c.OutC+oc)*hw+pix] = prod.Data[src+oc] + c.B.Data[oc]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	hw := c.geom.OutH * c.geom.OutW
+	// Rearrange grad [N, OutC, oh, ow] -> [N*oh*ow, OutC].
+	g2 := tensor.New(c.n*hw, c.OutC)
+	for b := 0; b < c.n; b++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			base := (b*c.OutC + oc) * hw
+			for pix := 0; pix < hw; pix++ {
+				g2.Data[(b*hw+pix)*c.OutC+oc] = grad.Data[base+pix]
+			}
+		}
+	}
+	// dW = colsᵀ · g2 ; dB = column sums of g2.
+	dw := tensor.MatMulTransA(c.cols, g2)
+	for i, v := range dw.Data {
+		c.W.Grad[i] += v
+	}
+	for r := 0; r < g2.Shape[0]; r++ {
+		row := g2.Data[r*c.OutC : (r+1)*c.OutC]
+		for oc := 0; oc < c.OutC; oc++ {
+			c.B.Grad[oc] += row[oc]
+		}
+	}
+	// dCols = g2 · Wᵀ (MatMulTransB transposes its second operand).
+	w := tensor.FromSlice(c.W.Data, c.InC*c.Kernel*c.Kernel, c.OutC)
+	dcols := tensor.MatMulTransB(g2, w)
+	return tensor.Col2Im(dcols, c.n, c.geom)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// BatchNorm2D normalizes per channel with batch statistics. Matching the
+// paper's Table 5 ("BatchNorm Tracking: False"), batch statistics are used
+// in both training and evaluation; no running averages are kept.
+type BatchNorm2D struct {
+	C     int
+	Gamma *Param
+	Beta  *Param
+	Eps   float64
+	label string
+
+	xhat  *tensor.Tensor
+	std   []float64
+	count int
+}
+
+// NewBatchNorm2D builds an affine batch norm over C channels.
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	bn := &BatchNorm2D{C: c, Eps: 1e-5, label: name}
+	gamma := make([]float64, c)
+	for i := range gamma {
+		gamma[i] = 1
+	}
+	bn.Gamma = newParam(name+".gamma", GroupLinear, gamma)
+	bn.Beta = newParam(name+".beta", GroupLinear, make([]float64, c))
+	return bn
+}
+
+// Name implements Layer.
+func (bn *BatchNorm2D) Name() string { return bn.label }
+
+// Forward implements Layer.
+func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	hw := h * w
+	bn.count = n * hw
+	if bn.std == nil || len(bn.std) != ch {
+		bn.std = make([]float64, ch)
+	}
+	out := tensor.New(n, ch, h, w)
+	bn.xhat = tensor.New(n, ch, h, w)
+	for c := 0; c < ch; c++ {
+		var mean float64
+		for b := 0; b < n; b++ {
+			base := (b*ch + c) * hw
+			for i := 0; i < hw; i++ {
+				mean += x.Data[base+i]
+			}
+		}
+		mean /= float64(bn.count)
+		var variance float64
+		for b := 0; b < n; b++ {
+			base := (b*ch + c) * hw
+			for i := 0; i < hw; i++ {
+				d := x.Data[base+i] - mean
+				variance += d * d
+			}
+		}
+		variance /= float64(bn.count)
+		std := math.Sqrt(variance + bn.Eps)
+		bn.std[c] = std
+		g, be := bn.Gamma.Data[c], bn.Beta.Data[c]
+		for b := 0; b < n; b++ {
+			base := (b*ch + c) * hw
+			for i := 0; i < hw; i++ {
+				xh := (x.Data[base+i] - mean) / std
+				bn.xhat.Data[base+i] = xh
+				out.Data[base+i] = g*xh + be
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, ch := grad.Shape[0], grad.Shape[1]
+	hw := grad.Shape[2] * grad.Shape[3]
+	m := float64(bn.count)
+	out := tensor.New(grad.Shape...)
+	for c := 0; c < ch; c++ {
+		var sumDy, sumDyXhat float64
+		for b := 0; b < n; b++ {
+			base := (b*ch + c) * hw
+			for i := 0; i < hw; i++ {
+				dy := grad.Data[base+i]
+				sumDy += dy
+				sumDyXhat += dy * bn.xhat.Data[base+i]
+			}
+		}
+		bn.Beta.Grad[c] += sumDy
+		bn.Gamma.Grad[c] += sumDyXhat
+		g := bn.Gamma.Data[c]
+		inv := g / (m * bn.std[c])
+		for b := 0; b < n; b++ {
+			base := (b*ch + c) * hw
+			for i := 0; i < hw; i++ {
+				dy := grad.Data[base+i]
+				xh := bn.xhat.Data[base+i]
+				out.Data[base+i] = inv * (m*dy - sumDy - xh*sumDyXhat)
+			}
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// randSource aliases the PRNG used for initialization.
+type randSource = *rand.Rand
+
+// VGG19 builds a width-scaled VGG-19 for inH×inW images: 16 conv layers +
+// 3 fully connected, with the paper's operator census — 18 ReLU and
+// 5 MaxPool non-polynomial slots. width is the base channel count (the
+// original uses 64).
+func VGG19(width, classes, inC, inH, inW int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel("vgg19")
+	w1, w2, w4, w8 := width, 2*width, 4*width, 8*width
+	// (channels, convs-per-stage) per VGG-19: 2,2,4,4,4.
+	stages := []struct{ ch, n int }{{w1, 2}, {w2, 2}, {w4, 4}, {w8, 4}, {w8, 4}}
+	in := inC
+	h, wd := inH, inW
+	conv := 0
+	for si, st := range stages {
+		for i := 0; i < st.n; i++ {
+			conv++
+			m.AddLayer(NewConv2D(fmt.Sprintf("conv%d", conv), in, st.ch, 3, 1, 1, rng))
+			m.AddLayer(NewBatchNorm2D(fmt.Sprintf("bn%d", conv), st.ch))
+			act := &Act{Impl: NewReLU()}
+			m.AddLayer(act)
+			m.registerSlot(SlotReLU, act, 0, 0, 0)
+			in = st.ch
+		}
+		pool := &Act{Impl: NewMaxPool2D(2, 2, 0)}
+		m.AddLayer(pool)
+		m.registerSlot(SlotMaxPool, pool, 2, 2, 0)
+		h, wd = h/2, wd/2
+		_ = si
+	}
+	m.AddLayer(NewFlatten())
+	d1 := NewDropout(0.5, rng)
+	m.AddLayer(d1)
+	m.registerDropout(d1)
+	m.AddLayer(NewLinear("fc1", in*h*wd, w8, rng))
+	act17 := &Act{Impl: NewReLU()}
+	m.AddLayer(act17)
+	m.registerSlot(SlotReLU, act17, 0, 0, 0)
+	d2 := NewDropout(0.5, rng)
+	m.AddLayer(d2)
+	m.registerDropout(d2)
+	m.AddLayer(NewLinear("fc2", w8, w8, rng))
+	act18 := &Act{Impl: NewReLU()}
+	m.AddLayer(act18)
+	m.registerSlot(SlotReLU, act18, 0, 0, 0)
+	m.AddLayer(NewLinear("fc3", w8, classes, rng))
+	return m
+}
+
+// ResNet18 builds a width-scaled ResNet-18 (CIFAR-style stem with a stem
+// max-pool, as in the paper's census): 17 ReLU + 1 MaxPool slots.
+// width is the stem channel count (the original uses 64).
+func ResNet18(width, classes, inC, inH, inW int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel("resnet18")
+	m.AddLayer(NewConv2D("stem.conv", inC, width, 3, 1, 1, rng))
+	m.AddLayer(NewBatchNorm2D("stem.bn", width))
+	stemAct := &Act{Impl: NewReLU()}
+	m.AddLayer(stemAct)
+	m.registerSlot(SlotReLU, stemAct, 0, 0, 0)
+	stemPool := &Act{Impl: NewMaxPool2D(3, 2, 1)}
+	m.AddLayer(stemPool)
+	m.registerSlot(SlotMaxPool, stemPool, 3, 2, 1)
+
+	chans := []int{width, 2 * width, 4 * width, 8 * width}
+	in := width
+	for stage := 0; stage < 4; stage++ {
+		stride := 1
+		if stage > 0 {
+			stride = 2
+		}
+		for blk := 0; blk < 2; blk++ {
+			s := 1
+			if blk == 0 {
+				s = stride
+			}
+			b := NewBasicBlock(m, fmt.Sprintf("layer%d.block%d", stage+1, blk), in, chans[stage], s, rng)
+			m.AddLayer(b)
+			in = chans[stage]
+		}
+	}
+	m.AddLayer(NewAvgPool2DGlobal())
+	m.AddLayer(NewFlatten())
+	drop := NewDropout(0.3, rng)
+	m.AddLayer(drop)
+	m.registerDropout(drop)
+	m.AddLayer(NewLinear("fc", in, classes, rng))
+	return m
+}
+
+// CNN7 is the 7-layer CNN used by SAFENet-style prior work for CIFAR-scale
+// tasks: 4 conv + 2 pool + 2 fc, with 5 ReLU and 2 MaxPool slots. It is the
+// cheap model used by fast unit tests.
+func CNN7(width, classes, inC, inH, inW int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel("cnn7")
+	in := inC
+	h, w := inH, inW
+	for i, ch := range []int{width, 2 * width} {
+		m.AddLayer(NewConv2D(fmt.Sprintf("conv%da", i+1), in, ch, 3, 1, 1, rng))
+		m.AddLayer(NewBatchNorm2D(fmt.Sprintf("bn%da", i+1), ch))
+		act := &Act{Impl: NewReLU()}
+		m.AddLayer(act)
+		m.registerSlot(SlotReLU, act, 0, 0, 0)
+		m.AddLayer(NewConv2D(fmt.Sprintf("conv%db", i+1), ch, ch, 3, 1, 1, rng))
+		m.AddLayer(NewBatchNorm2D(fmt.Sprintf("bn%db", i+1), ch))
+		act2 := &Act{Impl: NewReLU()}
+		m.AddLayer(act2)
+		m.registerSlot(SlotReLU, act2, 0, 0, 0)
+		pool := &Act{Impl: NewMaxPool2D(2, 2, 0)}
+		m.AddLayer(pool)
+		m.registerSlot(SlotMaxPool, pool, 2, 2, 0)
+		in = ch
+		h, w = h/2, w/2
+	}
+	m.AddLayer(NewFlatten())
+	m.AddLayer(NewLinear("fc1", in*h*w, 4*width, rng))
+	act := &Act{Impl: NewReLU()}
+	m.AddLayer(act)
+	m.registerSlot(SlotReLU, act, 0, 0, 0)
+	drop := NewDropout(0.5, rng)
+	m.AddLayer(drop)
+	m.registerDropout(drop)
+	m.AddLayer(NewLinear("fc2", 4*width, classes, rng))
+	return m
+}
+
+// MLP builds a small multilayer perceptron with ReLU slots; handy for
+// 1-D toy tasks and the quickstart example.
+func MLP(dims []int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel("mlp")
+	m.AddLayer(NewFlatten())
+	for i := 0; i < len(dims)-1; i++ {
+		m.AddLayer(NewLinear(fmt.Sprintf("fc%d", i+1), dims[i], dims[i+1], rng))
+		if i < len(dims)-2 {
+			act := &Act{Impl: NewReLU()}
+			m.AddLayer(act)
+			m.registerSlot(SlotReLU, act, 0, 0, 0)
+		}
+	}
+	return m
+}

@@ -1,0 +1,311 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/efficientfhe/smartpaf/internal/paf"
+	"github.com/efficientfhe/smartpaf/internal/tensor"
+)
+
+// ScaleMode selects the input-scaling strategy of a PAF layer (paper §4.5).
+type ScaleMode int
+
+const (
+	// ScaleDynamic normalizes every batch by its own max |x| — training only
+	// (FHE has no value-dependent operators).
+	ScaleDynamic ScaleMode = iota
+	// ScaleStatic uses a frozen scale (the running max captured during
+	// training), the FHE-deployable mode.
+	ScaleStatic
+)
+
+// String implements fmt.Stringer.
+func (m ScaleMode) String() string {
+	if m == ScaleDynamic {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// PAFAct replaces a ReLU with a trainable PAF: out = s·relu_p(x/s) where s
+// is the dynamic batch max or the static frozen scale. ReLU's positive
+// homogeneity makes the rescaling exact for the true operator, so the PAF
+// only has to be accurate on [-1, 1].
+type PAFAct struct {
+	PAF   *paf.Composite
+	Mode  ScaleMode
+	Scale float64 // static scale (frozen running max)
+
+	// RunningMax tracks the max |input| seen during training; Static Scaling
+	// freezes Scale to this value at deployment (paper §4.5).
+	RunningMax float64
+
+	params []*Param
+	label  string
+
+	// cached forward state; gradients are recomputed in Backward from x and
+	// s rather than stored per element.
+	x *tensor.Tensor
+	s float64
+}
+
+// NewPAFAct wraps a composite PAF as an activation layer. The layer's
+// parameters alias the PAF stage coefficients, so optimizer steps mutate the
+// composite in place.
+func NewPAFAct(name string, c *paf.Composite) *PAFAct {
+	a := &PAFAct{PAF: c, Mode: ScaleDynamic, Scale: 1, label: name}
+	for i, stage := range c.Stages {
+		p := newParam(fmt.Sprintf("%s.stage%d", name, i), GroupPAF, stage.Coeffs)
+		a.params = append(a.params, p)
+	}
+	return a
+}
+
+// Name implements Layer.
+func (a *PAFAct) Name() string { return a.label }
+
+// currentScale returns the scale for this batch and updates the running max.
+func (a *PAFAct) currentScale(x *tensor.Tensor, train bool) float64 {
+	batchMax := x.MaxAbs()
+	if train {
+		if batchMax > a.RunningMax {
+			a.RunningMax = batchMax
+		}
+	}
+	switch a.Mode {
+	case ScaleDynamic:
+		if batchMax == 0 {
+			return 1
+		}
+		return batchMax
+	default:
+		if a.Scale == 0 {
+			return 1
+		}
+		return a.Scale
+	}
+}
+
+// Forward implements Layer.
+func (a *PAFAct) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	a.x = x
+	a.s = a.currentScale(x, train)
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = a.s * a.PAF.ReLU(v/a.s)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (a *PAFAct) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	// Recompute per-element coefficient gradients with the upstream signal;
+	// this avoids storing one gradient row per element in Forward.
+	for i, v := range a.x.Data {
+		u := v / a.s
+		_, du, dc := a.PAF.ReLUWithGrad(u)
+		g := grad.Data[i]
+		out.Data[i] = g * du
+		for si := range dc {
+			prow := a.params[si].Grad
+			for k := range dc[si] {
+				prow[k] += g * a.s * dc[si][k]
+			}
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (a *PAFAct) Params() []*Param { return a.params }
+
+// Deploy freezes the layer for FHE: switches to Static Scaling with the
+// running max. Returns an error if no running max was ever observed.
+func (a *PAFAct) Deploy() error {
+	if a.RunningMax == 0 {
+		return fmt.Errorf("nn: %s has no recorded running max; train before deploying", a.label)
+	}
+	a.Mode = ScaleStatic
+	a.Scale = a.RunningMax
+	return nil
+}
+
+// PAFMaxPool replaces max pooling with a pairwise PAF max tree over each
+// window, sharing one trainable PAF across the layer. Inputs are scaled like
+// PAFAct (max is positively homogeneous too).
+type PAFMaxPool struct {
+	PAF                 *paf.Composite
+	Kernel, Stride, Pad int
+	Mode                ScaleMode
+	Scale               float64
+	RunningMax          float64
+
+	params  []*Param
+	label   string
+	x       *tensor.Tensor
+	s       float64
+	windows [][]int // input indices per output element
+	inShape []int
+	geom    tensor.ConvGeom
+}
+
+// NewPAFMaxPool builds a PAF max pooling layer.
+func NewPAFMaxPool(name string, c *paf.Composite, kernel, stride, pad int) *PAFMaxPool {
+	p := &PAFMaxPool{PAF: c, Kernel: kernel, Stride: stride, Pad: pad, Mode: ScaleDynamic, Scale: 1, label: name}
+	for i, stage := range c.Stages {
+		p.params = append(p.params, newParam(fmt.Sprintf("%s.stage%d", name, i), GroupPAF, stage.Coeffs))
+	}
+	return p
+}
+
+// Name implements Layer.
+func (p *PAFMaxPool) Name() string { return p.label }
+
+// Forward implements Layer.
+func (p *PAFMaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	p.x = x
+	p.inShape = append([]int(nil), x.Shape...)
+	p.geom = tensor.Geometry(c, h, w, p.Kernel, p.Stride, p.Pad)
+
+	batchMax := x.MaxAbs()
+	if train && batchMax > p.RunningMax {
+		p.RunningMax = batchMax
+	}
+	switch p.Mode {
+	case ScaleDynamic:
+		p.s = batchMax
+	default:
+		p.s = p.Scale
+	}
+	if p.s == 0 {
+		p.s = 1
+	}
+
+	out := tensor.New(n, c, p.geom.OutH, p.geom.OutW)
+	p.windows = make([][]int, out.Numel())
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (b*c + ch) * h * w
+			outBase := (b*c + ch) * p.geom.OutH * p.geom.OutW
+			for oh := 0; oh < p.geom.OutH; oh++ {
+				for ow := 0; ow < p.geom.OutW; ow++ {
+					var win []int
+					for kh := 0; kh < p.Kernel; kh++ {
+						ih := oh*p.Stride + kh - p.Pad
+						if ih < 0 || ih >= h {
+							continue
+						}
+						for kw := 0; kw < p.Kernel; kw++ {
+							iw := ow*p.Stride + kw - p.Pad
+							if iw < 0 || iw >= w {
+								continue
+							}
+							win = append(win, inBase+ih*w+iw)
+						}
+					}
+					oidx := outBase + oh*p.geom.OutW + ow
+					p.windows[oidx] = win
+					out.Data[oidx] = p.s * p.treeMax(win, nil, 0)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// treeMax reduces the window with pairwise PAF max on scaled values. When
+// grads is non-nil it also accumulates d(out)/d(input_i) into grads (same
+// indexing as win) and coefficient gradients scaled by upstream into the
+// layer parameter grads (weighted by coefWeight).
+func (p *PAFMaxPool) treeMax(win []int, grads []float64, coefWeight float64) float64 {
+	vals := make([]float64, len(win))
+	for i, idx := range win {
+		vals[i] = p.x.Data[idx] / p.s
+	}
+	if grads == nil {
+		for len(vals) > 1 {
+			next := vals[:0]
+			for i := 0; i < len(vals); i += 2 {
+				if i+1 == len(vals) {
+					next = append(next, vals[i])
+					continue
+				}
+				next = append(next, p.PAF.Max(vals[i], vals[i+1]))
+			}
+			vals = next
+		}
+		return vals[0]
+	}
+
+	// Gradient-carrying reduction: track d(current)/d(original input j).
+	jac := make([][]float64, len(vals))
+	for i := range jac {
+		jac[i] = make([]float64, len(win))
+		jac[i][i] = 1
+	}
+	cur := vals
+	for len(cur) > 1 {
+		var next []float64
+		var nextJac [][]float64
+		for i := 0; i < len(cur); i += 2 {
+			if i+1 == len(cur) {
+				next = append(next, cur[i])
+				nextJac = append(nextJac, jac[i])
+				continue
+			}
+			m, dx, dy, dc := p.PAF.MaxWithGrad(cur[i], cur[i+1])
+			next = append(next, m)
+			row := make([]float64, len(win))
+			for j := range row {
+				row[j] = dx*jac[i][j] + dy*jac[i+1][j]
+			}
+			nextJac = append(nextJac, row)
+			// Coefficient grads: upstream weight times ∂m/∂c, chained
+			// through the remaining reductions — approximated by direct
+			// accumulation (exact for the last reduction, first-order for
+			// inner ones; sufficient for SGD fine-tuning).
+			for si := range dc {
+				prow := p.params[si].Grad
+				for k := range dc[si] {
+					prow[k] += coefWeight * dc[si][k]
+				}
+			}
+		}
+		cur, jac = next, nextJac
+	}
+	copy(grads, jac[0])
+	return cur[0]
+}
+
+// Backward implements Layer.
+func (p *PAFMaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(p.inShape...)
+	for oidx, win := range p.windows {
+		if len(win) == 0 {
+			continue
+		}
+		g := grad.Data[oidx]
+		grads := make([]float64, len(win))
+		p.treeMax(win, grads, g*p.s)
+		for i, idx := range win {
+			// d(s·tree(x/s))/dx = tree'(u).
+			out.Data[idx] += g * grads[i]
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (p *PAFMaxPool) Params() []*Param { return p.params }
+
+// Deploy freezes the layer for FHE (Static Scaling with the running max).
+func (p *PAFMaxPool) Deploy() error {
+	if p.RunningMax == 0 {
+		return fmt.Errorf("nn: %s has no recorded running max; train before deploying", p.label)
+	}
+	p.Mode = ScaleStatic
+	p.Scale = p.RunningMax
+	return nil
+}

@@ -1,0 +1,53 @@
+package ring
+
+// NTT performs an in-place forward negacyclic number-theoretic transform of a
+// modulo m.Q. Input is in standard coefficient order; output is in
+// bit-reversed "evaluation" order suitable for pointwise multiplication.
+// The transform follows the Cooley–Tukey butterflies with merged powers of
+// psi (Longa–Naehrig), so no separate pre-multiplication by psi^i is needed.
+func (m *Modulus) NTT(a []uint64) {
+	n := m.N
+	q := m.Q
+	t := n
+	for stage := 1; stage < n; stage <<= 1 {
+		t >>= 1
+		for i := 0; i < stage; i++ {
+			w := m.psiFwd[stage+i]
+			wShoup := m.psiFwdShoup[stage+i]
+			j1 := 2 * i * t
+			for j := j1; j < j1+t; j++ {
+				u := a[j]
+				v := MulModShoup(a[j+t], w, wShoup, q)
+				a[j] = AddMod(u, v, q)
+				a[j+t] = SubMod(u, v, q)
+			}
+		}
+	}
+}
+
+// INTT performs an in-place inverse negacyclic NTT (Gentleman–Sande
+// butterflies with merged inverse powers of psi), returning coefficients in
+// standard order and already divided by N.
+func (m *Modulus) INTT(a []uint64) {
+	n := m.N
+	q := m.Q
+	t := 1
+	for stage := n >> 1; stage >= 1; stage >>= 1 {
+		j1 := 0
+		for i := 0; i < stage; i++ {
+			w := m.psiInvRev[stage+i]
+			wShoup := m.psiInvShoup[stage+i]
+			for j := j1; j < j1+t; j++ {
+				u := a[j]
+				v := a[j+t]
+				a[j] = AddMod(u, v, q)
+				a[j+t] = MulModShoup(SubMod(u, v, q), w, wShoup, q)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for j := 0; j < n; j++ {
+		a[j] = MulModShoup(a[j], m.nInv, m.nInvShoup, q)
+	}
+}

@@ -1,0 +1,356 @@
+package ring
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testModulus(t *testing.T, n int) *Modulus {
+	t.Helper()
+	q, err := GenPrime(45, n, nil)
+	if err != nil {
+		t.Fatalf("GenPrime: %v", err)
+	}
+	m, err := NewModulus(q, n)
+	if err != nil {
+		t.Fatalf("NewModulus: %v", err)
+	}
+	return m
+}
+
+func TestGenPrimesProperties(t *testing.T) {
+	avoid := map[uint64]bool{}
+	primes, err := GenPrimes(40, 1024, 8, avoid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, q := range primes {
+		if seen[q] {
+			t.Fatalf("duplicate prime %d", q)
+		}
+		seen[q] = true
+		if q%(2*1024) != 1 {
+			t.Fatalf("prime %d not ≡ 1 mod 2N", q)
+		}
+		if !new(big.Int).SetUint64(q).ProbablyPrime(30) {
+			t.Fatalf("%d is not prime", q)
+		}
+	}
+}
+
+func TestGenPrimesAvoid(t *testing.T) {
+	avoid := map[uint64]bool{}
+	p1, err := GenPrimes(40, 512, 3, avoid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := GenPrimes(40, 512, 3, avoid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range p1 {
+		for _, b := range p2 {
+			if a == b {
+				t.Fatalf("avoid set not honoured: %d reused", a)
+			}
+		}
+	}
+}
+
+func TestGenPrimesRejectsBadSizes(t *testing.T) {
+	if _, err := GenPrimes(10, 512, 1, nil); err == nil {
+		t.Fatal("expected error for too-small bit size")
+	}
+	if _, err := GenPrimes(63, 512, 1, nil); err == nil {
+		t.Fatal("expected error for too-large bit size")
+	}
+}
+
+func TestModularArithmetic(t *testing.T) {
+	const q = uint64(0x1fffffffffe00001) // 61-bit prime-shaped value for range checks
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(func(a, b uint64) bool {
+		a, b = a%q, b%q
+		s := AddMod(a, b, q)
+		d := SubMod(s, b, q)
+		return d == a && s < q
+	}, cfg); err != nil {
+		t.Errorf("add/sub roundtrip: %v", err)
+	}
+	if err := quick.Check(func(a, b uint64) bool {
+		a, b = a%q, b%q
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, new(big.Int).SetUint64(q))
+		return MulMod(a, b, q) == want.Uint64()
+	}, cfg); err != nil {
+		t.Errorf("MulMod vs big.Int: %v", err)
+	}
+}
+
+func TestMulModShoupMatchesMulMod(t *testing.T) {
+	q, err := GenPrime(50, 256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		a := uniformUint64(rng, q)
+		w := uniformUint64(rng, q)
+		ws := shoupPrecomp(w, q)
+		if got, want := MulModShoup(a, w, ws, q), MulMod(a, w, q); got != want {
+			t.Fatalf("Shoup mismatch a=%d w=%d: got %d want %d", a, w, got, want)
+		}
+	}
+}
+
+func TestPowInvMod(t *testing.T) {
+	q, _ := GenPrime(45, 256, nil)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		a := 1 + uniformUint64(rng, q-1)
+		inv := InvMod(a, q)
+		if MulMod(a, inv, q) != 1 {
+			t.Fatalf("InvMod(%d) incorrect", a)
+		}
+	}
+	if PowMod(3, 0, q) != 1 {
+		t.Fatal("a^0 != 1")
+	}
+}
+
+func TestPrimitiveRootOrder(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		m := testModulus(t, n)
+		psi := m.Psi()
+		if PowMod(psi, uint64(n), m.Q) != m.Q-1 {
+			t.Fatalf("psi^N != -1 for n=%d", n)
+		}
+		if PowMod(psi, uint64(2*n), m.Q) != 1 {
+			t.Fatalf("psi^2N != 1 for n=%d", n)
+		}
+	}
+}
+
+func TestNTTRoundtrip(t *testing.T) {
+	m := testModulus(t, 512)
+	rng := rand.New(rand.NewSource(11))
+	a := make([]uint64, m.N)
+	for i := range a {
+		a[i] = uniformUint64(rng, m.Q)
+	}
+	orig := append([]uint64(nil), a...)
+	m.NTT(a)
+	m.INTT(a)
+	for i := range a {
+		if a[i] != orig[i] {
+			t.Fatalf("roundtrip mismatch at %d: got %d want %d", i, a[i], orig[i])
+		}
+	}
+}
+
+// naive negacyclic product c = a*b mod (X^N+1, q)
+func negacyclicMul(a, b []uint64, q uint64) []uint64 {
+	n := len(a)
+	c := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		if a[i] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			p := MulMod(a[i], b[j], q)
+			k := i + j
+			if k < n {
+				c[k] = AddMod(c[k], p, q)
+			} else {
+				c[k-n] = SubMod(c[k-n], p, q)
+			}
+		}
+	}
+	return c
+}
+
+func TestNTTNegacyclicMultiplication(t *testing.T) {
+	m := testModulus(t, 128)
+	rng := rand.New(rand.NewSource(5))
+	a := make([]uint64, m.N)
+	b := make([]uint64, m.N)
+	for i := range a {
+		a[i] = uniformUint64(rng, m.Q)
+		b[i] = uniformUint64(rng, m.Q)
+	}
+	want := negacyclicMul(a, b, m.Q)
+
+	ahat := append([]uint64(nil), a...)
+	bhat := append([]uint64(nil), b...)
+	m.NTT(ahat)
+	m.NTT(bhat)
+	for i := range ahat {
+		ahat[i] = MulMod(ahat[i], bhat[i], m.Q)
+	}
+	m.INTT(ahat)
+	for i := range ahat {
+		if ahat[i] != want[i] {
+			t.Fatalf("negacyclic product mismatch at %d", i)
+		}
+	}
+}
+
+func TestNTTLinearity(t *testing.T) {
+	m := testModulus(t, 256)
+	rng := rand.New(rand.NewSource(9))
+	a := make([]uint64, m.N)
+	b := make([]uint64, m.N)
+	sum := make([]uint64, m.N)
+	for i := range a {
+		a[i] = uniformUint64(rng, m.Q)
+		b[i] = uniformUint64(rng, m.Q)
+		sum[i] = AddMod(a[i], b[i], m.Q)
+	}
+	m.NTT(a)
+	m.NTT(b)
+	m.NTT(sum)
+	for i := range a {
+		if AddMod(a[i], b[i], m.Q) != sum[i] {
+			t.Fatalf("NTT not linear at %d", i)
+		}
+	}
+}
+
+func newTestRing(t *testing.T, n, levels int) *Ring {
+	t.Helper()
+	primes, err := GenPrimes(45, n, levels+1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(n, primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestPolyAddSubNeg(t *testing.T) {
+	r := newTestRing(t, 64, 2)
+	s := NewSampler(r, 42)
+	a := s.Uniform(2)
+	b := s.Uniform(2)
+	sum := r.NewPoly(2)
+	r.Add(a, b, sum)
+	diff := r.NewPoly(2)
+	r.Sub(sum, b, diff)
+	if !diff.Equal(a) {
+		t.Fatal("(a+b)-b != a")
+	}
+	neg := r.NewPoly(2)
+	r.Neg(a, neg)
+	zero := r.NewPoly(2)
+	r.Add(a, neg, zero)
+	want := r.NewPoly(2)
+	if !zero.Equal(want) {
+		t.Fatal("a + (-a) != 0")
+	}
+}
+
+func TestPolyMulCoeffsThenAdd(t *testing.T) {
+	r := newTestRing(t, 64, 1)
+	s := NewSampler(r, 43)
+	a := s.Uniform(1)
+	b := s.Uniform(1)
+	prod := r.NewPoly(1)
+	r.MulCoeffs(a, b, prod)
+	acc := r.NewPoly(1)
+	r.MulCoeffsThenAdd(a, b, acc)
+	r.MulCoeffsThenAdd(a, b, acc)
+	double := r.NewPoly(1)
+	r.Add(prod, prod, double)
+	if !acc.Equal(double) {
+		t.Fatal("MulCoeffsThenAdd accumulation incorrect")
+	}
+}
+
+func TestTernaryAndGaussianRanges(t *testing.T) {
+	r := newTestRing(t, 256, 0)
+	s := NewSampler(r, 44)
+	tern := s.Ternary(0, 0.67)
+	q := r.Moduli[0].Q
+	nonzero := 0
+	for _, c := range tern.Coeffs[0] {
+		if c != 0 && c != 1 && c != q-1 {
+			t.Fatalf("ternary coefficient %d out of {-1,0,1}", c)
+		}
+		if c != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 || nonzero == r.N {
+		t.Fatalf("suspicious ternary density: %d/%d nonzero", nonzero, r.N)
+	}
+	g := s.Gaussian(0)
+	lifted := r.CenteredLimb(g, 0)
+	for _, v := range lifted {
+		if v > 6*4 || v < -6*4 {
+			t.Fatalf("gaussian sample %d outside rejection bound", v)
+		}
+	}
+}
+
+func TestCenteredLimbAndSetSigned(t *testing.T) {
+	r := newTestRing(t, 64, 1)
+	vals := make([]int64, r.N)
+	for i := range vals {
+		vals[i] = int64(i - r.N/2)
+	}
+	p := r.SetSignedCoeffs(vals, 1)
+	got := r.CenteredLimb(p, 0)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("centered lift mismatch at %d: got %d want %d", i, got[i], vals[i])
+		}
+	}
+	got1 := r.CenteredLimb(p, 1)
+	for i := range vals {
+		if got1[i] != vals[i] {
+			t.Fatalf("limb-1 centered lift mismatch at %d", i)
+		}
+	}
+}
+
+func TestPolyCopyTruncate(t *testing.T) {
+	r := newTestRing(t, 64, 3)
+	s := NewSampler(r, 45)
+	a := s.Uniform(3)
+	cp := a.CopyNew()
+	if !cp.Equal(a) {
+		t.Fatal("copy differs")
+	}
+	cp.Coeffs[0][0]++
+	if cp.Equal(a) {
+		t.Fatal("copy shares storage")
+	}
+	tr := a.Truncate(1)
+	if tr.Level() != 1 {
+		t.Fatalf("truncate level = %d, want 1", tr.Level())
+	}
+	tr.Coeffs[0][1] = 12345 % r.Moduli[0].Q
+	if a.Coeffs[0][1] != tr.Coeffs[0][1] {
+		t.Fatal("truncate should share storage")
+	}
+}
+
+func TestUniformNoModuloBias(t *testing.T) {
+	// Statistical smoke test: mean of uniform samples should be ~q/2.
+	q := uint64(1 << 30)
+	rng := rand.New(rand.NewSource(2))
+	var sum float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		sum += float64(uniformUint64(rng, q))
+	}
+	mean := sum / trials
+	if mean < float64(q)*0.48 || mean > float64(q)*0.52 {
+		t.Fatalf("uniform mean %.0f far from q/2=%.0f", mean, float64(q)/2)
+	}
+}

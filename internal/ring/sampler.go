@@ -1,0 +1,180 @@
+package ring
+
+import "math/rand"
+
+// Sampler draws random ring elements. It is deterministic given its seed,
+// which keeps every experiment in this repository reproducible.
+//
+// NOTE: math/rand is NOT a cryptographically secure source. This is a
+// research artifact reproducing latency/accuracy results; a production
+// deployment must swap in crypto/rand-backed sampling.
+type Sampler struct {
+	r   *Ring
+	rng *rand.Rand
+	// Gaussian parameter for error sampling (standard HE default).
+	Sigma float64
+	// Rejection bound for Gaussian samples, in standard deviations.
+	Bound float64
+}
+
+// NewSampler creates a sampler over r seeded deterministically.
+func NewSampler(r *Ring, seed int64) *Sampler {
+	return &Sampler{r: r, rng: rand.New(rand.NewSource(seed)), Sigma: 3.2, Bound: 6}
+}
+
+// Uniform fills a fresh polynomial at the given level with independently
+// uniform residues per limb (a uniform element of R_{Q_level} by CRT).
+func (s *Sampler) Uniform(level int) *Poly {
+	p := s.r.NewPoly(level)
+	for i := 0; i <= level; i++ {
+		q := s.r.Moduli[i].Q
+		ci := p.Coeffs[i]
+		for j := range ci {
+			ci[j] = uniformUint64(s.rng, q)
+		}
+	}
+	return p
+}
+
+// uniformUint64 returns a uniform value in [0, q) without modulo bias.
+func uniformUint64(rng *rand.Rand, q uint64) uint64 {
+	max := ^uint64(0) - ^uint64(0)%q
+	for {
+		v := rng.Uint64()
+		if v < max {
+			return v % q
+		}
+	}
+}
+
+// Ternary fills a polynomial with coefficients in {-1, 0, 1}, each nonzero
+// with probability density (standard CKKS secret/encryption randomness).
+func (s *Sampler) Ternary(level int, density float64) *Poly {
+	p := s.r.NewPoly(level)
+	n := s.r.N
+	signs := make([]int8, n)
+	for j := 0; j < n; j++ {
+		u := s.rng.Float64()
+		switch {
+		case u < density/2:
+			signs[j] = 1
+		case u < density:
+			signs[j] = -1
+		}
+	}
+	s.setSigned(p, level, func(j int) int64 { return int64(signs[j]) })
+	return p
+}
+
+// Gaussian fills a polynomial with rounded Gaussian coefficients of standard
+// deviation s.Sigma, truncated at s.Bound standard deviations.
+func (s *Sampler) Gaussian(level int) *Poly {
+	p := s.r.NewPoly(level)
+	n := s.r.N
+	vals := make([]int64, n)
+	for j := 0; j < n; j++ {
+		for {
+			v := s.rng.NormFloat64() * s.Sigma
+			if v >= -s.Bound*s.Sigma && v <= s.Bound*s.Sigma {
+				vals[j] = int64(roundHalfAway(v))
+				break
+			}
+		}
+	}
+	s.setSigned(p, level, func(j int) int64 { return vals[j] })
+	return p
+}
+
+func roundHalfAway(v float64) float64 {
+	if v >= 0 {
+		return float64(int64(v + 0.5))
+	}
+	return float64(int64(v - 0.5))
+}
+
+// setSigned writes signed integer coefficients into all limbs of p,
+// reducing negatives as q - |v|.
+func (s *Sampler) setSigned(p *Poly, level int, f func(j int) int64) {
+	for i := 0; i <= level; i++ {
+		q := s.r.Moduli[i].Q
+		ci := p.Coeffs[i]
+		for j := range ci {
+			v := f(j)
+			if v >= 0 {
+				ci[j] = uint64(v) % q
+			} else {
+				ci[j] = q - uint64(-v)%q
+			}
+		}
+	}
+}
+
+// GaussianSigned returns N signed rounded-Gaussian coefficients. Use this
+// when the same small error polynomial must be embedded into several rings
+// (e.g. both the Q chain and the special prime P during key generation).
+func (s *Sampler) GaussianSigned() []int64 {
+	n := s.r.N
+	vals := make([]int64, n)
+	for j := 0; j < n; j++ {
+		for {
+			v := s.rng.NormFloat64() * s.Sigma
+			if v >= -s.Bound*s.Sigma && v <= s.Bound*s.Sigma {
+				vals[j] = int64(roundHalfAway(v))
+				break
+			}
+		}
+	}
+	return vals
+}
+
+// TernarySigned returns N coefficients in {-1,0,1}, nonzero with the given
+// density.
+func (s *Sampler) TernarySigned(density float64) []int64 {
+	n := s.r.N
+	vals := make([]int64, n)
+	for j := 0; j < n; j++ {
+		u := s.rng.Float64()
+		switch {
+		case u < density/2:
+			vals[j] = 1
+		case u < density:
+			vals[j] = -1
+		}
+	}
+	return vals
+}
+
+// SetSignedCoeffs writes the signed coefficient vector into all limbs of a
+// fresh polynomial at the given level.
+func (r *Ring) SetSignedCoeffs(vals []int64, level int) *Poly {
+	p := r.NewPoly(level)
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		ci := p.Coeffs[i]
+		for j := range ci {
+			v := vals[j]
+			if v >= 0 {
+				ci[j] = uint64(v) % q
+			} else {
+				ci[j] = q - uint64(-v)%q
+			}
+		}
+	}
+	return p
+}
+
+// CenteredLimb lifts limb i of p (coefficient domain) to centered
+// representatives in (-q/2, q/2].
+func (r *Ring) CenteredLimb(p *Poly, i int) []int64 {
+	q := r.Moduli[i].Q
+	half := q >> 1
+	out := make([]int64, len(p.Coeffs[i]))
+	for j, c := range p.Coeffs[i] {
+		if c > half {
+			out[j] = -int64(q - c)
+		} else {
+			out[j] = int64(c)
+		}
+	}
+	return out
+}

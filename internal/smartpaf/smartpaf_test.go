@@ -1,0 +1,375 @@
+package smartpaf
+
+import (
+	"math"
+	"testing"
+
+	"github.com/efficientfhe/smartpaf/internal/data"
+	"github.com/efficientfhe/smartpaf/internal/nn"
+	"github.com/efficientfhe/smartpaf/internal/paf"
+)
+
+// tinySetup pretrains a small CNN on the tiny synthetic task.
+func tinySetup(t testing.TB, pretrainEpochs int) (*nn.Model, *data.Dataset, *data.Dataset) {
+	t.Helper()
+	cfg := data.Tiny()
+	train, val := data.Generate(cfg)
+	m := nn.CNN7(2, cfg.Classes, cfg.Channels, cfg.Size, cfg.Size, 7)
+	Pretrain(m, train, pretrainEpochs, 32, 3e-3, 1)
+	return m, train, val
+}
+
+func testConfig(form string) Config {
+	cfg := DefaultConfig(form)
+	cfg.Epochs = 1
+	cfg.MaxGroupsPerStep = 1
+	cfg.BatchSize = 32
+	cfg.ProfileBatches = 2
+	cfg.ProfileBins = 32
+	return cfg
+}
+
+func TestProfileSlots(t *testing.T) {
+	m, train, _ := tinySetup(t, 1)
+	profiles := ProfileSlots(m, train, 32, 2, 32)
+	if len(profiles) != len(m.Slots()) {
+		t.Fatalf("%d profiles for %d slots", len(profiles), len(m.Slots()))
+	}
+	for i, p := range profiles {
+		if p.N == 0 {
+			t.Fatalf("profile %d saw no data", i)
+		}
+		if p.Max <= 0 {
+			t.Fatalf("profile %d has non-positive max", i)
+		}
+		var mass float64
+		for _, b := range p.Bins {
+			mass += b
+		}
+		if mass == 0 {
+			t.Fatalf("profile %d histogram empty", i)
+		}
+		w := p.Weights()
+		var sum float64
+		for _, v := range w {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("profile %d weights sum to %g", i, sum)
+		}
+	}
+	// Probes must be removed: a second forward shouldn't change N.
+	n0 := profiles[0].N
+	b := train.Batches(32, nil)[0]
+	m.Forward(b.X, false)
+	if profiles[0].N != n0 {
+		t.Fatal("probe not removed after profiling")
+	}
+}
+
+func TestProfileBinCenters(t *testing.T) {
+	p := &Profile{Bins: make([]float64, 4)}
+	want := []float64{-0.75, -0.25, 0.25, 0.75}
+	for i, w := range want {
+		if got := p.BinCenter(i); math.Abs(got-w) > 1e-12 {
+			t.Fatalf("BinCenter(%d) = %g want %g", i, got, w)
+		}
+	}
+}
+
+// TestCoefficientTuningImprovesWeightedError is the core CT claim: tuning on
+// a profiled distribution reduces the weighted sign error (Fig. 3/Fig. 7).
+func TestCoefficientTuningImprovesWeightedError(t *testing.T) {
+	// A narrow distribution concentrated around ±0.3.
+	prof := &Profile{Bins: make([]float64, 64), Max: 1}
+	for i := range prof.Bins {
+		x := prof.BinCenter(i)
+		prof.Bins[i] = math.Exp(-(math.Abs(x)-0.3)*(math.Abs(x)-0.3)/0.02) + 0.01
+	}
+	for _, form := range []string{paf.FormF1G2, paf.FormF2G2, paf.FormF1F1G1G1} {
+		c := paf.MustNew(form)
+		before := WeightedReLUError(c, prof)
+		tuned := CoefficientTuning(c, prof, DefaultCTOptions())
+		after := WeightedReLUError(tuned, prof)
+		if after >= before {
+			t.Errorf("%s: CT did not reduce weighted error: %g -> %g", form, before, after)
+		}
+		// The input composite must be untouched.
+		if c.Stages[0].Coeffs[0] != paf.MustNew(form).Stages[0].Coeffs[0] {
+			t.Errorf("%s: CT mutated its input", form)
+		}
+	}
+}
+
+// TestCTBenefitLargerForLowDegree pins the Fig. 7 trend: CT helps low-degree
+// PAFs (f1∘g2) more than high-degree ones (α=7) in relative terms.
+func TestCTBenefitLargerForLowDegree(t *testing.T) {
+	prof := &Profile{Bins: make([]float64, 64), Max: 1}
+	for i := range prof.Bins {
+		x := prof.BinCenter(i)
+		prof.Bins[i] = math.Exp(-x*x/0.08) + 0.005
+	}
+	ratio := func(form string) float64 {
+		c := paf.MustNew(form)
+		before := WeightedReLUError(c, prof)
+		after := WeightedReLUError(CoefficientTuning(c, prof, DefaultCTOptions()), prof)
+		if after == 0 {
+			after = 1e-12
+		}
+		return before / after
+	}
+	low := ratio(paf.FormF1G2)
+	high := ratio(paf.FormAlpha7)
+	if low <= high {
+		t.Fatalf("expected larger CT gain for f1∘g2 (%gx) than α=7 (%gx)", low, high)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := DefaultConfig("nonsense")
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected invalid form error")
+	}
+	cfg = DefaultConfig(paf.FormF1G2)
+	cfg.Epochs = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected invalid epochs error")
+	}
+}
+
+func TestTechniquesLabel(t *testing.T) {
+	cfg := Config{CT: true, AT: true}
+	if got := cfg.TechniquesLabel(); got != "baseline + CT + AT" {
+		t.Fatalf("label %q", got)
+	}
+	if got := (Config{}).TechniquesLabel(); got != "baseline" {
+		t.Fatalf("label %q", got)
+	}
+}
+
+func TestPipelineSmartPAFRun(t *testing.T) {
+	m, train, val := tinySetup(t, 2)
+	cfg := testConfig(paf.FormF1G2)
+	p, err := NewPipeline(m, train, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OriginalAcc <= 0 {
+		t.Fatal("no original accuracy")
+	}
+	if len(res.Curve) == 0 {
+		t.Fatal("no training curve")
+	}
+	// Every slot must be replaced and statically scalable afterwards.
+	for _, s := range m.Slots() {
+		if !s.IsReplaced() {
+			t.Fatalf("slot %d not replaced", s.Index)
+		}
+	}
+	// Replace events: one per slot under PA.
+	replaceEvents := 0
+	for _, e := range res.Events {
+		if e.Kind == EventReplace {
+			replaceEvents++
+		}
+	}
+	if replaceEvents != len(m.Slots()) {
+		t.Fatalf("%d replace events for %d slots", replaceEvents, len(m.Slots()))
+	}
+	if res.FinalAccSS < 0 || res.FinalAccSS > 1 || res.FinalAccDS < 0 || res.FinalAccDS > 1 {
+		t.Fatal("accuracies out of range")
+	}
+}
+
+func TestPipelineDirectBaselineRun(t *testing.T) {
+	m, train, val := tinySetup(t, 2)
+	cfg := testConfig(paf.FormF1G2)
+	cfg.CT, cfg.PA, cfg.AT = false, false, false
+	p, err := NewPipeline(m, train, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct replacement: exactly one replace event.
+	replaceEvents := 0
+	for _, e := range res.Events {
+		if e.Kind == EventReplace {
+			replaceEvents++
+		}
+	}
+	if replaceEvents != 1 {
+		t.Fatalf("%d replace events, want 1 for direct replacement", replaceEvents)
+	}
+}
+
+func TestPipelineReLUOnly(t *testing.T) {
+	m, train, val := tinySetup(t, 1)
+	cfg := testConfig(paf.FormF1G2)
+	cfg.ReplaceMaxPool = false
+	p, err := NewPipeline(m, train, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range m.Slots() {
+		if s.Kind == nn.SlotMaxPool && s.IsReplaced() {
+			t.Fatal("maxpool should not be replaced in ReLU-only mode")
+		}
+		if s.Kind == nn.SlotReLU && !s.IsReplaced() {
+			t.Fatal("relu slot not replaced")
+		}
+	}
+}
+
+// TestCTImprovesInitialAccuracyDeepModel is the Fig. 7 shape: on a deep
+// model (ResNet-18: 17 cascaded ReLUs where approximation errors compound),
+// replacing every non-polynomial operator with an untuned low-degree PAF
+// costs accuracy, and Coefficient Tuning recovers a good part of it without
+// any fine-tuning. Shallow models do not exhibit the effect (errors do not
+// compound), which is exactly the paper's motivation for evaluating on
+// deep networks.
+func TestCTImprovesInitialAccuracyDeepModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep-model pretraining in -short mode")
+	}
+	dcfg := data.Tiny()
+	dcfg.Classes = 6
+	dcfg.Train = 300
+	train, val := data.Generate(dcfg)
+	m := nn.ResNet18(2, dcfg.Classes, dcfg.Channels, dcfg.Size, dcfg.Size, 7)
+	Pretrain(m, train, 12, 32, 3e-3, 1)
+	var valBatches []nn.Batch
+	for _, b := range val.Batches(32, nil) {
+		valBatches = append(valBatches, nn.Batch{X: b.X, Y: b.Y})
+	}
+	orig := nn.Accuracy(m, valBatches)
+	profiles := ProfileSlots(m, train, 32, 2, 32)
+	replaceAll := func(ct bool) float64 {
+		for _, s := range m.Slots() {
+			c := paf.MustNew(paf.FormF1G2)
+			if ct {
+				c = CoefficientTuning(c, profiles[s.Index], DefaultCTOptions())
+			}
+			s.ReplaceWithPAF(c)
+		}
+		a := nn.Accuracy(m, valBatches)
+		for _, s := range m.Slots() {
+			s.RestoreExact()
+		}
+		return a
+	}
+	untuned := replaceAll(false)
+	tuned := replaceAll(true)
+	if untuned >= orig {
+		t.Logf("note: untuned replacement did not degrade (orig %.3f, untuned %.3f)", orig, untuned)
+	}
+	if tuned+0.03 < untuned {
+		t.Fatalf("CT reduced initial accuracy: %.3f (CT) vs %.3f (no CT), orig %.3f", tuned, untuned, orig)
+	}
+}
+
+// TestCTGuardProtectsHighDegreeBaseline pins the accept-if-better guard: CT
+// must never make the near-perfect 27-degree baseline dramatically worse.
+func TestCTGuardProtectsHighDegreeBaseline(t *testing.T) {
+	prof := &Profile{Bins: make([]float64, 64), Max: 1}
+	for i := range prof.Bins {
+		x := prof.BinCenter(i)
+		prof.Bins[i] = math.Exp(-x*x/0.02) + 0.001
+	}
+	c := paf.MustNew(paf.FormAlpha10)
+	before := WeightedReLUError(c, prof)
+	tuned := CoefficientTuning(c, prof, DefaultCTOptions())
+	after := WeightedReLUError(tuned, prof)
+	if after > before*2+1e-6 {
+		t.Fatalf("CT degraded alpha10: %g -> %g", before, after)
+	}
+}
+
+func TestPipelineRejectsBadConfig(t *testing.T) {
+	m, train, val := tinySetup(t, 0)
+	cfg := testConfig("bogus")
+	if _, err := NewPipeline(m, train, val, cfg); err == nil {
+		t.Fatal("expected config error")
+	}
+}
+
+func TestWeightedSignErrorZeroForPerfectSign(t *testing.T) {
+	// alpha10 is near-perfect on |x| ≥ 0.02; with mass only on large |x| the
+	// weighted error must be tiny.
+	prof := &Profile{Bins: make([]float64, 64), Max: 1}
+	for i := range prof.Bins {
+		if x := prof.BinCenter(i); math.Abs(x) > 0.4 {
+			prof.Bins[i] = 1
+		}
+	}
+	if e := WeightedSignError(paf.MustNew(paf.FormAlpha10), prof); e > 1e-4 {
+		t.Fatalf("weighted error %g for near-perfect baseline", e)
+	}
+}
+
+func TestDirectProgressiveTrainingMode(t *testing.T) {
+	m, train, val := tinySetup(t, 2)
+	cfg := testConfig(paf.FormF1G2)
+	cfg.CT, cfg.PA, cfg.AT = false, false, false
+	cfg.DirectProgressiveTraining = true
+	p, err := NewPipeline(m, train, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All slots replaced at once (one replace event), training split across
+	// one step per slot.
+	replaceEvents := 0
+	for _, e := range res.Events {
+		if e.Kind == EventReplace {
+			replaceEvents++
+		}
+	}
+	if replaceEvents != 1 {
+		t.Fatalf("%d replace events, want 1", replaceEvents)
+	}
+	// After the run no parameter should remain frozen.
+	for _, prm := range m.Params() {
+		if prm.Frozen {
+			t.Fatalf("parameter %s left frozen", prm.Name)
+		}
+	}
+}
+
+func TestPipelineSSAccuracyPopulated(t *testing.T) {
+	// The SS conversion path must produce a usable FHE-compatible model with
+	// the running maxima captured during training.
+	m, train, val := tinySetup(t, 2)
+	cfg := testConfig(paf.FormF1F1G1G1)
+	p, err := NewPipeline(m, train, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccSS <= 0 {
+		t.Fatalf("SS accuracy %.3f should be positive on the tiny task", res.FinalAccSS)
+	}
+	// Deploy again (idempotent) and verify static scales exist everywhere.
+	if err := m.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	m.SetScaleMode(nn.ScaleStatic)
+	if err := m.CheckFHECompatible(); err != nil {
+		t.Fatal(err)
+	}
+}
