@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build vet fmt-check test test-fast bench fuzz clean-testcache
+
+all: test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+
+# Clear the cache before the suite (lattigo idiom) so the race detector
+# really re-runs every package, then gofmt gate + vet + full race suite.
+test: clean-testcache fmt-check vet
+	$(GO) test -race ./...
+
+# Fast iteration loop: cached, no race detector.
+test-fast:
+	$(GO) test ./...
+
+clean-testcache:
+	$(GO) clean -testcache
+
+bench:
+	$(GO) test -bench . -benchmem -run XXX .
+
+# Short fuzz pass over the modular-arithmetic primitives (one target per
+# invocation is a `go test` restriction).
+fuzz:
+	$(GO) test -run XXX -fuzz FuzzAddSubMod -fuzztime 10s ./internal/ring/
+	$(GO) test -run XXX -fuzz FuzzMulModShoup -fuzztime 10s ./internal/ring/
+	$(GO) test -run XXX -fuzz FuzzPowMod -fuzztime 10s ./internal/ring/

@@ -44,6 +44,101 @@ func BenchmarkNTT(b *testing.B) {
 	}
 }
 
+// --- concurrency layer: serial vs parallel substrate -------------------------
+
+// newNTTBenchRing builds the acceptance-point ring of the concurrency PR:
+// N=8192 with a full 8-limb chain.
+func newNTTBenchRing(b *testing.B) (*ring.Ring, *ring.Poly) {
+	b.Helper()
+	const n, limbs = 8192, 8
+	primes, err := ring.GenPrimes(45, n, limbs, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rq, err := ring.NewRing(n, primes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rq, ring.NewSampler(rq, 3).Uniform(limbs - 1)
+}
+
+// BenchmarkNTTSerial and BenchmarkNTTParallel compare the full-chain
+// forward+inverse transform with the RNS-limb worker pool off and on; the
+// ratio is the PR's headline speedup on multicore machines.
+func BenchmarkNTTSerial(b *testing.B) {
+	rq, p := newNTTBenchRing(b)
+	ring.SetParallelism(1)
+	defer ring.SetParallelism(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rq.NTT(p)
+		rq.INTT(p)
+	}
+}
+
+func BenchmarkNTTParallel(b *testing.B) {
+	rq, p := newNTTBenchRing(b)
+	ring.SetParallelism(0) // default: fan across GOMAXPROCS
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rq.NTT(p)
+		rq.INTT(p)
+	}
+}
+
+// BenchmarkEvaluatorShared drives one shared evaluator from b.RunParallel
+// goroutines (4 per core), the serving shape the thread-safe evaluator
+// enables; compare per-op time against BenchmarkCKKSMulRelinRescale.
+func BenchmarkEvaluatorShared(b *testing.B) {
+	bc := newBenchContext(b, 12, 6)
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := bc.eval.MulRelinRescale(bc.ct, bc.ct); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// newBatchInferenceBench builds a deployed-MLP inference batch over one
+// shared context.
+func newBatchInferenceBench(b *testing.B, batch int) (*henn.Context, *henn.MLP, []*ckks.Ciphertext) {
+	b.Helper()
+	ctx, ct, lin := newLinearBench(b)
+	mlp := &henn.MLP{Layers: []any{lin}}
+	cts := make([]*ckks.Ciphertext, batch)
+	for i := range cts {
+		cts[i] = ct
+	}
+	return ctx, mlp, cts
+}
+
+// BenchmarkBatchInferenceSerial and BenchmarkBatchInference compare a batch
+// of encrypted MLP inferences run as a serial loop vs fanned across all
+// cores over the shared evaluator.
+func BenchmarkBatchInferenceSerial(b *testing.B) {
+	ctx, mlp, cts := newBatchInferenceBench(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.InferBatch(mlp, cts, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchInference(b *testing.B) {
+	ctx, mlp, cts := newBatchInferenceBench(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.InferBatch(mlp, cts, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 type benchContext struct {
 	params *ckks.Parameters
 	enc    *ckks.Encoder

@@ -35,6 +35,7 @@ func main() {
 		epochs   = flag.Int("epochs", 2, "epochs per training group (paper E)")
 		groups   = flag.Int("groups", 2, "max training groups per step")
 		seed     = flag.Int64("seed", 42, "random seed")
+		parallel = flag.Int("parallel", 0, "workers for batch-parallel stages such as per-slot CT (0/1 serial, <0 all cores)")
 	)
 	flag.Parse()
 
@@ -71,6 +72,7 @@ func main() {
 	cfg.Epochs = *epochs
 	cfg.MaxGroupsPerStep = *groups
 	cfg.Seed = *seed
+	cfg.Parallel = *parallel
 
 	pipe, err := smartpaf.NewPipeline(m, train, val, cfg)
 	if err != nil {

@@ -1,0 +1,3 @@
+module github.com/efficientfhe/smartpaf
+
+go 1.22

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
 // Encoder maps vectors of complex numbers into ring plaintexts via the CKKS
@@ -12,12 +13,30 @@ import (
 // modulo 2N (the same algorithm as HEAAN/SEAL/Lattigo); EncodeNaive/
 // DecodeNaive evaluate the embedding directly in O(n^2) and serve as a test
 // oracle for the fast path.
+//
+// An Encoder is safe for concurrent use: the twiddle tables are read-only
+// after NewEncoder and per-call scratch is drawn from sync.Pools.
 type Encoder struct {
 	params   *Parameters
 	m        int          // 2N
 	rotGroup []int        // 5^i mod 2N, i < N/2
 	ksiPows  []complex128 // exp(2πi j / 2N), j ≤ 2N
+
+	slotPool  sync.Pool // []complex128 of length Slots()
+	coeffPool sync.Pool // []int64 of length N
 }
+
+// getSlots returns a zeroed slot-sized scratch vector from the pool.
+func (e *Encoder) getSlots() []complex128 {
+	if v := e.slotPool.Get(); v != nil {
+		w := v.([]complex128)
+		clear(w)
+		return w
+	}
+	return make([]complex128, e.params.Slots())
+}
+
+func (e *Encoder) putSlots(w []complex128) { e.slotPool.Put(w) } //nolint:staticcheck
 
 // NewEncoder builds an encoder for the given parameters.
 func NewEncoder(params *Parameters) *Encoder {
@@ -105,7 +124,8 @@ func (e *Encoder) Encode(values []complex128, level int, scale float64) (*Plaint
 	if len(values) > slots {
 		return nil, fmt.Errorf("ckks: %d values exceed %d slots", len(values), slots)
 	}
-	w := make([]complex128, slots)
+	w := e.getSlots()
+	defer e.putSlots(w)
 	copy(w, values)
 	e.embInv(w)
 	return e.coeffsToPlaintext(w, level, scale)
@@ -123,7 +143,14 @@ func (e *Encoder) EncodeReals(values []float64, level int, scale float64) (*Plai
 func (e *Encoder) coeffsToPlaintext(w []complex128, level int, scale float64) (*Plaintext, error) {
 	n := e.params.N()
 	slots := e.params.Slots()
-	coeffs := make([]int64, n)
+	var coeffs []int64
+	if v := e.coeffPool.Get(); v != nil {
+		coeffs = v.([]int64)
+		clear(coeffs)
+	} else {
+		coeffs = make([]int64, n)
+	}
+	defer e.coeffPool.Put(coeffs) //nolint:staticcheck
 	maxMag := math.Exp2(62)
 	for j := 0; j < slots; j++ {
 		re := real(w[j]) * scale

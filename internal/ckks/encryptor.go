@@ -1,13 +1,21 @@
 package ckks
 
 import (
+	"sync"
+
 	"github.com/efficientfhe/smartpaf/internal/ring"
 )
 
-// Encryptor encrypts plaintexts under a public key.
+// Encryptor encrypts plaintexts under a public key. It is safe for
+// concurrent use: the only mutable state is the deterministic sampler, whose
+// draws are serialized under a mutex (so concurrent callers interleave the
+// random stream but each still obtains a valid, fresh encryption; serial
+// callers get the exact seeded sequence).
 type Encryptor struct {
-	params  *Parameters
-	pk      *PublicKey
+	params *Parameters
+	pk     *PublicKey
+
+	mu      sync.Mutex
 	sampler *ring.Sampler
 }
 
@@ -21,10 +29,18 @@ func (enc *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
 	rq := enc.params.RingQ()
 	level := pt.Level
 
-	v := enc.params.RingQ().SetSignedCoeffs(enc.sampler.TernarySigned(0.5), level)
+	// Draw all randomness under the lock, in the same order as the original
+	// serial path; the (deterministic) arithmetic happens outside it.
+	enc.mu.Lock()
+	vSigned := enc.sampler.TernarySigned(0.5)
+	e0Signed := enc.sampler.GaussianSigned()
+	e1Signed := enc.sampler.GaussianSigned()
+	enc.mu.Unlock()
+
+	v := rq.SetSignedCoeffs(vSigned, level)
 	rq.NTT(v)
-	e0 := enc.sampler.Gaussian(level)
-	e1 := enc.sampler.Gaussian(level)
+	e0 := rq.SetSignedCoeffs(e0Signed, level)
+	e1 := rq.SetSignedCoeffs(e1Signed, level)
 	rq.NTT(e0)
 	rq.NTT(e1)
 
@@ -39,7 +55,8 @@ func (enc *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
 	return &Ciphertext{C0: c0, C1: c1, Scale: pt.Scale, Level: level}
 }
 
-// Decryptor recovers plaintexts with the secret key.
+// Decryptor recovers plaintexts with the secret key. It is stateless apart
+// from the key and safe for concurrent use.
 type Decryptor struct {
 	params *Parameters
 	sk     *SecretKey

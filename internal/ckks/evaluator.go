@@ -12,8 +12,18 @@ import (
 // mismatches below this bound; anything larger is a programming error.
 const scaleTol = 1e-6
 
-// Evaluator performs homomorphic arithmetic. It is not safe for concurrent
-// use (it owns scratch buffers); create one evaluator per goroutine.
+// Evaluator performs homomorphic arithmetic. It is safe for concurrent use:
+// one evaluator can be shared by any number of goroutines operating on
+// distinct ciphertexts. It holds no mutable state — parameters and keys are
+// read-only after construction, and all scratch is drawn from the ring's
+// sync.Pools. The only caveat is setup: attach rotation keys (via
+// WithRotationKeys) before the evaluator is shared, not while other
+// goroutines are using it.
+//
+// Independent RNS-limb work inside each operation (NTT batches, key-switch
+// digit accumulation, rescale base extension) is additionally fanned across
+// the internal/ring worker pool, so a single call also exploits multicore;
+// see ring.SetParallelism.
 type Evaluator struct {
 	params *Parameters
 	rlk    *RelinearizationKey
@@ -121,7 +131,7 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 
 	d0 := rq.NewPoly(level)
 	d1 := rq.NewPoly(level)
-	d2 := rq.NewPoly(level)
+	d2 := rq.GetPolyRaw(level) // fully overwritten by MulCoeffs below
 	rq.MulCoeffs(a.C0, b.C0, d0)
 	rq.MulCoeffs(a.C0, b.C1, d1)
 	rq.MulCoeffsThenAdd(a.C1, b.C0, d1)
@@ -130,6 +140,9 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 	e0, e1 := ev.keySwitch(d2, ev.rlk.Digits, level)
 	rq.Add(d0, e0, d0)
 	rq.Add(d1, e1, d1)
+	rq.PutPoly(d2)
+	rq.PutPoly(e0)
+	rq.PutPoly(e1)
 	return &Ciphertext{C0: d0, C1: d1, Scale: a.Scale * b.Scale, Level: level}, nil
 }
 
@@ -150,59 +163,68 @@ func (ev *Evaluator) keySwitch(d2 *ring.Poly, digits []EvaluationKeyDigit, level
 	n := ev.params.N()
 	p := ev.params.P()
 
-	acc0 := rq.NewPoly(level)
-	acc1 := rq.NewPoly(level)
-	acc0P := rp.NewPoly(0)
-	acc1P := rp.NewPoly(0)
+	acc0 := rq.GetPoly(level)
+	acc1 := rq.GetPoly(level)
+	acc0P := rp.GetPoly(0)
+	acc1P := rp.GetPoly(0)
 
-	digit := make([]uint64, n)
-	ext := make([]uint64, n)
+	digit := rq.GetScratch()
 	for i := 0; i <= level; i++ {
 		copy(digit, d2.Coeffs[i])
 		rq.Moduli[i].INTT(digit)
 		evk := &digits[i]
+		qi := ev.params.Q()[i]
 
-		// Extend the digit to each q_j limb, transform, multiply-accumulate.
-		for j := 0; j <= level; j++ {
-			qj := rq.Moduli[j].Q
-			if ev.params.Q()[i] <= qj {
+		// Each target limb accumulates independently: jobs 0..level extend
+		// the digit to q_j, transform and multiply-accumulate into limb j of
+		// the Q accumulators; job level+1 does the same for the P limb.
+		ring.ForEachLimb(level+2, n, func(j int) {
+			ext := rq.GetScratch()
+			defer rq.PutScratch(ext)
+			if j <= level {
+				qj := rq.Moduli[j].Q
+				if qi <= qj {
+					copy(ext, digit)
+				} else {
+					for k := 0; k < n; k++ {
+						ext[k] = digit[k] % qj
+					}
+				}
+				rq.Moduli[j].NTT(ext)
+				b := evk.BQ.Coeffs[j]
+				a := evk.AQ.Coeffs[j]
+				o0 := acc0.Coeffs[j]
+				o1 := acc1.Coeffs[j]
+				for k := 0; k < n; k++ {
+					o0[k] = ring.AddMod(o0[k], ring.MulMod(ext[k], b[k], qj), qj)
+					o1[k] = ring.AddMod(o1[k], ring.MulMod(ext[k], a[k], qj), qj)
+				}
+				return
+			}
+			if qi <= p {
 				copy(ext, digit)
 			} else {
 				for k := 0; k < n; k++ {
-					ext[k] = digit[k] % qj
+					ext[k] = digit[k] % p
 				}
 			}
-			rq.Moduli[j].NTT(ext)
-			b := evk.BQ.Coeffs[j]
-			a := evk.AQ.Coeffs[j]
-			o0 := acc0.Coeffs[j]
-			o1 := acc1.Coeffs[j]
+			rp.Moduli[0].NTT(ext)
+			bP := evk.BP.Coeffs[0]
+			aP := evk.AP.Coeffs[0]
+			o0 := acc0P.Coeffs[0]
+			o1 := acc1P.Coeffs[0]
 			for k := 0; k < n; k++ {
-				o0[k] = ring.AddMod(o0[k], ring.MulMod(ext[k], b[k], qj), qj)
-				o1[k] = ring.AddMod(o1[k], ring.MulMod(ext[k], a[k], qj), qj)
+				o0[k] = ring.AddMod(o0[k], ring.MulMod(ext[k], bP[k], p), p)
+				o1[k] = ring.AddMod(o1[k], ring.MulMod(ext[k], aP[k], p), p)
 			}
-		}
-		// Extend to the P limb.
-		if ev.params.Q()[i] <= p {
-			copy(ext, digit)
-		} else {
-			for k := 0; k < n; k++ {
-				ext[k] = digit[k] % p
-			}
-		}
-		rp.Moduli[0].NTT(ext)
-		bP := evk.BP.Coeffs[0]
-		aP := evk.AP.Coeffs[0]
-		o0 := acc0P.Coeffs[0]
-		o1 := acc1P.Coeffs[0]
-		for k := 0; k < n; k++ {
-			o0[k] = ring.AddMod(o0[k], ring.MulMod(ext[k], bP[k], p), p)
-			o1[k] = ring.AddMod(o1[k], ring.MulMod(ext[k], aP[k], p), p)
-		}
+		})
 	}
+	rq.PutScratch(digit)
 
 	ev.modDownByP(acc0, acc0P, level)
 	ev.modDownByP(acc1, acc1P, level)
+	rp.PutPoly(acc0P)
+	rp.PutPoly(acc1P)
 	return acc0, acc1
 }
 
@@ -215,11 +237,13 @@ func (ev *Evaluator) modDownByP(accQ, accP *ring.Poly, level int) {
 	p := ev.params.P()
 	half := p >> 1
 
-	lift := append([]uint64(nil), accP.Coeffs[0]...)
+	lift := rq.GetScratch()
+	copy(lift, accP.Coeffs[0])
 	rp.Moduli[0].INTT(lift)
 
-	ext := make([]uint64, n)
-	for j := 0; j <= level; j++ {
+	ring.ForEachLimb(level+1, n, func(j int) {
+		ext := rq.GetScratch()
+		defer rq.PutScratch(ext)
 		qj := rq.Moduli[j].Q
 		for k := 0; k < n; k++ {
 			c := lift[k]
@@ -239,7 +263,8 @@ func (ev *Evaluator) modDownByP(accQ, accP *ring.Poly, level int) {
 		for k := 0; k < n; k++ {
 			limb[k] = ring.MulMod(ring.SubMod(limb[k], ext[k], qj), pinv, qj)
 		}
-	}
+	})
+	rq.PutScratch(lift)
 }
 
 // Rescale divides the ciphertext by its top prime q_level, dropping one
@@ -269,11 +294,13 @@ func (ev *Evaluator) divideByTopPrime(in, out *ring.Poly, level int) {
 	ql := ev.params.Q()[level]
 	half := ql >> 1
 
-	lift := append([]uint64(nil), in.Coeffs[level]...)
+	lift := rq.GetScratch()
+	copy(lift, in.Coeffs[level])
 	rq.Moduli[level].INTT(lift)
 
-	ext := make([]uint64, n)
-	for j := 0; j < level; j++ {
+	ring.ForEachLimb(level, n, func(j int) {
+		ext := rq.GetScratch()
+		defer rq.PutScratch(ext)
 		qj := rq.Moduli[j].Q
 		for k := 0; k < n; k++ {
 			c := lift[k]
@@ -293,7 +320,8 @@ func (ev *Evaluator) divideByTopPrime(in, out *ring.Poly, level int) {
 		for k := 0; k < n; k++ {
 			dst[k] = ring.MulMod(ring.SubMod(src[k], ext[k], qj), qinv, qj)
 		}
-	}
+	})
+	rq.PutScratch(lift)
 }
 
 // MulRelinRescale is the common fused sequence multiply → relinearize →

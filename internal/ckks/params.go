@@ -11,6 +11,11 @@
 // The implementation favours clarity and reproducibility over raw speed and
 // deterministic math/rand sampling over cryptographic randomness; see
 // DESIGN.md for the substitution rationale.
+//
+// All scheme objects (Encoder, Encryptor, Decryptor, Evaluator) are safe
+// for concurrent use after construction: one set of keys and one evaluator
+// serve any number of goroutines, and independent RNS-limb work inside each
+// operation is additionally fanned across the internal/ring worker pool.
 package ckks
 
 import (

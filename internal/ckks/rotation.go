@@ -140,7 +140,9 @@ func normalizeStep(step, slots int) int {
 	return ((step % slots) + slots) % slots
 }
 
-// WithRotationKeys attaches rotation keys to the evaluator.
+// WithRotationKeys attaches rotation keys to the evaluator. It mutates the
+// evaluator and must be called during setup, before the evaluator is shared
+// across goroutines.
 func (ev *Evaluator) WithRotationKeys(rks *RotationKeySet) *Evaluator {
 	ev.rks = rks
 	return ev
@@ -191,5 +193,6 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, k int, swk *SwitchingKey) (*Cip
 	ks0, ks1 := ev.keySwitch(c1, swk.Digits, level)
 	out := &Ciphertext{C0: rq.NewPoly(level), C1: ks1, Scale: ct.Scale, Level: level}
 	rq.Add(c0, ks0, out.C0)
+	rq.PutPoly(ks0)
 	return out, nil
 }

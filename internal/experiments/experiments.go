@@ -23,6 +23,12 @@ type Options struct {
 	Fast bool
 	Seed int64
 	W    io.Writer
+
+	// Parallel is the worker count used by batch-parallel stages (per-slot
+	// CT in the pipeline, the batch columns of the parlat tables). 0 or 1
+	// runs serially; negative uses all cores. Results are identical either
+	// way — only wall-clock changes.
+	Parallel int
 }
 
 // Runner executes one experiment.
@@ -168,6 +174,7 @@ func pipelineConfig(form string, opt Options) smartpaf.Config {
 		cfg.MaxGroupsPerStep = 2
 	}
 	cfg.Seed = opt.Seed
+	cfg.Parallel = opt.Parallel
 	return cfg
 }
 

@@ -1,0 +1,30 @@
+package henn
+
+import (
+	"fmt"
+
+	"github.com/efficientfhe/smartpaf/internal/ckks"
+	"github.com/efficientfhe/smartpaf/internal/parallel"
+)
+
+// InferBatch runs the MLP on a batch of independent encrypted inputs,
+// evaluating up to workers ciphertexts concurrently over the shared context
+// (the ckks.Evaluator is safe for concurrent use, so one set of keys serves
+// the whole batch). The workers knob follows the repo-wide convention:
+// 0 or 1 is the serial path, negative uses all cores. Results are returned
+// in input order; the first error stops the remaining work and is returned.
+func (ctx *Context) InferBatch(mlp *MLP, cts []*ckks.Ciphertext, workers int) ([]*ckks.Ciphertext, error) {
+	out := make([]*ckks.Ciphertext, len(cts))
+	err := parallel.For(len(cts), parallel.Workers(workers), func(i int) error {
+		res, err := ctx.Infer(mlp, cts[i])
+		if err != nil {
+			return fmt.Errorf("henn: batch item %d: %w", i, err)
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

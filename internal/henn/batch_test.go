@@ -1,0 +1,85 @@
+package henn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/efficientfhe/smartpaf/internal/ckks"
+	"github.com/efficientfhe/smartpaf/internal/paf"
+)
+
+// batchTestMLP builds a small linear+activation MLP and a matching context.
+func batchTestMLP(t testing.TB) (*Context, *MLP, *ckks.Encryptor, *ckks.Decryptor) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	lin := &Linear{In: 8, Out: 8, B: make([]float64, 8)}
+	lin.W = make([][]float64, 8)
+	for i := range lin.W {
+		lin.W[i] = make([]float64, 8)
+		for j := range lin.W[i] {
+			lin.W[i][j] = rng.NormFloat64() * 0.3
+		}
+	}
+	act := &Activation{PAF: paf.MustNew(paf.FormF1G2), Scale: 2}
+	mlp := &MLP{Layers: []any{lin, act}}
+	ctx, encryptor, decryptor := newHEContext(t, mlp.LevelsRequired()+1, mlp.RequiredRotations(128))
+	return ctx, mlp, encryptor, decryptor
+}
+
+// TestInferBatchMatchesSerial checks that batch-parallel inference over one
+// shared evaluator returns bit-identical ciphertexts to the serial loop,
+// in input order, at every worker count.
+func TestInferBatchMatchesSerial(t *testing.T) {
+	ctx, mlp, encryptor, _ := batchTestMLP(t)
+	rng := rand.New(rand.NewSource(11))
+
+	const batch = 6
+	cts := make([]*ckks.Ciphertext, batch)
+	for i := range cts {
+		vec := make([]float64, ctx.Params.Slots())
+		for j := 0; j < 8; j++ {
+			vec[j] = rng.Float64()*1.2 - 0.6
+		}
+		pt, err := ctx.Enc.EncodeReals(vec, ctx.Params.MaxLevel(), ctx.Params.DefaultScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts[i] = encryptor.Encrypt(pt)
+	}
+
+	want, err := ctx.InferBatch(mlp, cts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16, -1} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got, err := ctx.InferBatch(mlp, cts, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i].Level != want[i].Level || got[i].Scale != want[i].Scale ||
+					!got[i].C0.Equal(want[i].C0) || !got[i].C1.Equal(want[i].C1) {
+					t.Fatalf("batch item %d differs from serial result", i)
+				}
+			}
+		})
+	}
+}
+
+// TestInferBatchPropagatesError verifies the first failure aborts the batch.
+func TestInferBatchPropagatesError(t *testing.T) {
+	ctx, mlp, encryptor, _ := batchTestMLP(t)
+	vec := make([]float64, ctx.Params.Slots())
+	// Encode at level 0: no headroom for the linear layer's rescale.
+	pt, err := ctx.Enc.EncodeReals(vec, 0, ctx.Params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := []*ckks.Ciphertext{encryptor.Encrypt(pt), encryptor.Encrypt(pt)}
+	if _, err := ctx.InferBatch(mlp, cts, 2); err == nil {
+		t.Fatal("expected error from level-0 inputs, got nil")
+	}
+}

@@ -1,0 +1,76 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-1)=%d want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+	for in, want := range map[int]int{0: 1, 1: 1, 2: 2, 7: 7} {
+		if got := Workers(in); got != want {
+			t.Fatalf("Workers(%d)=%d want %d", in, got, want)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 23
+		counts := make([]atomic.Int32, n)
+		if err := For(n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForReturnsFirstErrorAndStopsScheduling(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := For(1000, 4, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v want %v", err, boom)
+	}
+	// After the failure no further indices are scheduled; with 4 workers
+	// only a handful of in-flight items can complete.
+	if ran.Load() == 1000 {
+		t.Fatal("error did not stop scheduling: all 1000 items ran")
+	}
+
+	// Serial path stops immediately after the failing index.
+	ran.Store(0)
+	err = For(1000, 1, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || ran.Load() != 4 {
+		t.Fatalf("serial: err=%v ran=%d, want boom after 4 calls", err, ran.Load())
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	if err := For(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the RNS-limb worker pool: independent per-limb work
+// (NTT/INTT across limbs, pointwise limb arithmetic, key-switch digit
+// accumulation, rescale base extension) is fanned across up to Parallelism()
+// goroutines, with a serial fallback when the job is too small to amortize
+// the fan-out or when another fan-out is already in flight.
+//
+// The design deliberately relies on the Go scheduler as the underlying
+// thread pool: workers are plain goroutines pulling limb indices from an
+// atomic counter, so nested calls and concurrent evaluators cannot deadlock
+// on a fixed-size queue. A single in-flight fan-out gate keeps the total
+// goroutine count bounded at Parallelism() even when many callers hit the
+// substrate at once — in that regime the callers themselves already provide
+// the concurrency, and per-limb fan-out would only add scheduling overhead.
+
+// MinParallelWork is the minimum number of coefficient operations
+// (jobs × per-job cost) below which limb fan-out falls back to the serial
+// path. One goroutine handoff costs on the order of a microsecond, which a
+// limb of ≥ 4096 butterfly operations comfortably amortizes.
+const MinParallelWork = 1 << 13
+
+// parallelism is the fan-out width; 0 means "use runtime.GOMAXPROCS(0)".
+var parallelism atomic.Int64
+
+// fanOutActive is 1 while a fan-out is in flight. Nested or concurrent
+// ForEachLimb calls run serially instead of multiplying goroutines.
+var fanOutActive atomic.Int32
+
+// SetParallelism bounds the number of goroutines a single substrate
+// operation fans limb work across. n ≤ 0 restores the default
+// (runtime.GOMAXPROCS(0)); n == 1 forces the serial path everywhere.
+// It is safe to call concurrently with running operations: the setting is
+// read once per operation.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism reports the current fan-out width.
+func Parallelism() int {
+	if n := parallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEachLimb runs f(i) for every i in [0, jobs), fanning the calls across
+// worker goroutines when jobs*costPerJob ≥ MinParallelWork and no other
+// fan-out is in flight. f must treat distinct indices as independent: no
+// ordering between indices is guaranteed and they may run on different
+// goroutines. ForEachLimb returns only after every f(i) has returned.
+func ForEachLimb(jobs, costPerJob int, f func(i int)) {
+	w := Parallelism()
+	if w <= 1 || jobs <= 1 || jobs*costPerJob < MinParallelWork ||
+		!fanOutActive.CompareAndSwap(0, 1) {
+		for i := 0; i < jobs; i++ {
+			f(i)
+		}
+		return
+	}
+	defer fanOutActive.Store(0)
+	if w > jobs {
+		w = jobs
+	}
+	var next atomic.Int64
+	worker := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= jobs {
+				return
+			}
+			f(i)
+		}
+	}
+	// The calling goroutine is worker zero; only w-1 goroutines are spawned.
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for g := 0; g < w-1; g++ {
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	worker()
+	wg.Wait()
+}
+
+// forLimbs fans f over the limbs 0..level of a ring, costing each limb at
+// the ring degree. This is the common entry point for limb-wise poly ops.
+func (r *Ring) forLimbs(level int, f func(i int)) {
+	ForEachLimb(level+1, r.N, f)
+}

@@ -1,12 +1,21 @@
 package ring
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Ring is a chain of RNS moduli sharing one degree N. Index i of the chain
 // corresponds to prime q_i; a polynomial "at level L" carries limbs 0..L.
+// All methods are safe for concurrent use: the precomputed tables are
+// read-only after NewRing, per-limb work is fanned out via ForEachLimb, and
+// scratch recycling goes through sync.Pools (see pool.go).
 type Ring struct {
 	N      int
 	Moduli []*Modulus
+
+	polyPools   []sync.Pool // polyPools[l] recycles *Poly at level l
+	scratchPool sync.Pool   // recycles N-length []uint64 buffers
 }
 
 // NewRing prepares a ring of degree n over the given primes.
@@ -19,6 +28,7 @@ func NewRing(n int, primes []uint64) (*Ring, error) {
 		}
 		r.Moduli[i] = m
 	}
+	r.initPools()
 	return r, nil
 }
 
@@ -29,6 +39,10 @@ func NewRing(n int, primes []uint64) (*Ring, error) {
 // domain except during rescaling and key-switch decomposition).
 type Poly struct {
 	Coeffs [][]uint64
+
+	// view marks polynomials returned by Truncate, whose limbs alias
+	// another polynomial's storage; the pool refuses to recycle them.
+	view bool
 }
 
 // NewPoly allocates a zero polynomial with limbs+0..level inclusive.
@@ -58,7 +72,7 @@ func (p *Poly) CopyNew() *Poly {
 
 // Truncate drops limbs above level, returning a view sharing storage.
 func (p *Poly) Truncate(level int) *Poly {
-	return &Poly{Coeffs: p.Coeffs[:level+1]}
+	return &Poly{Coeffs: p.Coeffs[:level+1], view: true}
 }
 
 // minLevel returns the smallest level among the operands.
@@ -75,75 +89,75 @@ func minLevel(ps ...*Poly) int {
 // Add sets out = a + b limb-wise up to the smallest common level.
 func (r *Ring) Add(a, b, out *Poly) {
 	level := minLevel(a, b, out)
-	for i := 0; i <= level; i++ {
+	r.forLimbs(level, func(i int) {
 		q := r.Moduli[i].Q
 		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = AddMod(ai[j], bi[j], q)
 		}
-	}
+	})
 }
 
 // Sub sets out = a - b limb-wise up to the smallest common level.
 func (r *Ring) Sub(a, b, out *Poly) {
 	level := minLevel(a, b, out)
-	for i := 0; i <= level; i++ {
+	r.forLimbs(level, func(i int) {
 		q := r.Moduli[i].Q
 		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = SubMod(ai[j], bi[j], q)
 		}
-	}
+	})
 }
 
 // Neg sets out = -a limb-wise.
 func (r *Ring) Neg(a, out *Poly) {
 	level := minLevel(a, out)
-	for i := 0; i <= level; i++ {
+	r.forLimbs(level, func(i int) {
 		q := r.Moduli[i].Q
 		ai, oi := a.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = NegMod(ai[j], q)
 		}
-	}
+	})
 }
 
 // MulCoeffs sets out = a ⊙ b (pointwise product); both operands must be in
 // NTT domain, making this a negacyclic polynomial multiplication.
 func (r *Ring) MulCoeffs(a, b, out *Poly) {
 	level := minLevel(a, b, out)
-	for i := 0; i <= level; i++ {
+	r.forLimbs(level, func(i int) {
 		q := r.Moduli[i].Q
 		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = MulMod(ai[j], bi[j], q)
 		}
-	}
+	})
 }
 
 // MulCoeffsThenAdd sets out += a ⊙ b (pointwise, NTT domain).
 func (r *Ring) MulCoeffsThenAdd(a, b, out *Poly) {
 	level := minLevel(a, b, out)
-	for i := 0; i <= level; i++ {
+	r.forLimbs(level, func(i int) {
 		q := r.Moduli[i].Q
 		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = AddMod(oi[j], MulMod(ai[j], bi[j], q), q)
 		}
-	}
+	})
 }
 
 // MulScalar sets out = a * scalar where scalar is reduced per limb.
 func (r *Ring) MulScalar(a *Poly, scalar []uint64, out *Poly) {
 	level := minLevel(a, out)
-	for i := 0; i <= level; i++ {
+	r.forLimbs(level, func(i int) {
 		q := r.Moduli[i].Q
 		s := scalar[i] % q
 		ai, oi := a.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = MulMod(ai[j], s, q)
 		}
-	}
+	})
 }
 
 // AddScalar sets out = a + scalar (scalar given per limb). In NTT domain a
@@ -151,28 +165,30 @@ func (r *Ring) MulScalar(a *Poly, scalar []uint64, out *Poly) {
 // every slot, so the same routine serves both domains.
 func (r *Ring) AddScalar(a *Poly, scalar []uint64, out *Poly) {
 	level := minLevel(a, out)
-	for i := 0; i <= level; i++ {
+	r.forLimbs(level, func(i int) {
 		q := r.Moduli[i].Q
 		s := scalar[i] % q
 		ai, oi := a.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = AddMod(ai[j], s, q)
 		}
-	}
+	})
 }
 
-// NTT transforms all limbs of p in place to the evaluation domain.
+// NTT transforms all limbs of p in place to the evaluation domain,
+// fanning the per-limb transforms across the worker pool.
 func (r *Ring) NTT(p *Poly) {
-	for i := range p.Coeffs {
+	r.forLimbs(p.Level(), func(i int) {
 		r.Moduli[i].NTT(p.Coeffs[i])
-	}
+	})
 }
 
-// INTT transforms all limbs of p in place back to coefficient domain.
+// INTT transforms all limbs of p in place back to coefficient domain,
+// fanning the per-limb transforms across the worker pool.
 func (r *Ring) INTT(p *Poly) {
-	for i := range p.Coeffs {
+	r.forLimbs(p.Level(), func(i int) {
 		r.Moduli[i].INTT(p.Coeffs[i])
-	}
+	})
 }
 
 // Zero clears all limbs of p.

@@ -1,0 +1,67 @@
+package ring
+
+import "sync"
+
+// Scratch recycling for the hot path. Evaluator-style callers draw
+// polynomials and single-limb coefficient buffers from per-ring sync.Pools
+// instead of owning them, which is what makes one evaluator shareable by
+// concurrent callers: no scratch lives on any long-lived object.
+
+// GetPoly returns a zeroed polynomial at the given level, recycled from the
+// ring's pool when possible. It is equivalent to NewPoly for callers; pair
+// it with PutPoly when the polynomial no longer escapes.
+func (r *Ring) GetPoly(level int) *Poly {
+	p := r.GetPolyRaw(level)
+	p.Zero()
+	return p
+}
+
+// GetPolyRaw is GetPoly without the zeroing: the coefficients are
+// unspecified. Use it only for destinations every limb of which is fully
+// overwritten before being read (e.g. MulCoeffs outputs).
+func (r *Ring) GetPolyRaw(level int) *Poly {
+	if v := r.polyPools[level].Get(); v != nil {
+		return v.(*Poly)
+	}
+	return r.NewPoly(level)
+}
+
+// PutPoly returns a polynomial obtained from GetPoly (or NewPoly) to the
+// pool. The caller must not retain any reference to p or its limbs.
+// Truncated views alias another polynomial's storage and are rejected (they
+// would let a future GetPoly hand out limbs of a still-live polynomial).
+func (r *Ring) PutPoly(p *Poly) {
+	if p == nil || p.view {
+		return
+	}
+	level := p.Level()
+	if level < 0 || level >= len(r.polyPools) || len(p.Coeffs[0]) != r.N {
+		return
+	}
+	// Second line of defense for hand-built polys: NewPoly's limb-slice
+	// headers have cap == len, while a sub-slice view has spare capacity.
+	if cap(p.Coeffs) != len(p.Coeffs) {
+		return
+	}
+	r.polyPools[level].Put(p)
+}
+
+// GetScratch returns an N-coefficient scratch buffer (contents undefined).
+func (r *Ring) GetScratch() []uint64 {
+	if v := r.scratchPool.Get(); v != nil {
+		return v.([]uint64)
+	}
+	return make([]uint64, r.N)
+}
+
+// PutScratch recycles a buffer obtained from GetScratch.
+func (r *Ring) PutScratch(buf []uint64) {
+	if len(buf) == r.N {
+		r.scratchPool.Put(buf) //nolint:staticcheck // slice header alloc is amortized
+	}
+}
+
+// initPools wires the per-level polynomial pools; called by NewRing.
+func (r *Ring) initPools() {
+	r.polyPools = make([]sync.Pool, len(r.Moduli))
+}

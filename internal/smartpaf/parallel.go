@@ -1,0 +1,29 @@
+package smartpaf
+
+import (
+	"github.com/efficientfhe/smartpaf/internal/nn"
+	"github.com/efficientfhe/smartpaf/internal/paf"
+	"github.com/efficientfhe/smartpaf/internal/parallel"
+)
+
+// buildAllPAFs constructs the replacement composite for every target slot,
+// fanning the (independent, deterministic) Coefficient Tuning fits across
+// cfg.Parallel goroutines (0/1 serial, negative all cores). Results are
+// positional: out[i] belongs to slots[i]. Parallel and serial execution
+// produce identical composites, so the knob only changes wall-clock time,
+// never accuracy.
+func (p *Pipeline) buildAllPAFs(slots []*nn.Slot, profiles []*Profile) ([]*paf.Composite, error) {
+	out := make([]*paf.Composite, len(slots))
+	err := parallel.For(len(slots), parallel.Workers(p.Cfg.Parallel), func(i int) error {
+		c, err := p.buildPAF(slots[i].Index, profiles)
+		if err != nil {
+			return err
+		}
+		out[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

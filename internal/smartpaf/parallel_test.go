@@ -1,0 +1,55 @@
+package smartpaf
+
+import (
+	"testing"
+
+	"github.com/efficientfhe/smartpaf/internal/paf"
+)
+
+// TestBuildAllPAFsParallelMatchesSerial pins the documented contract of the
+// Parallel knob: per-slot Coefficient Tuning fanned across goroutines
+// produces composites bit-identical to the serial path, in slot order.
+func TestBuildAllPAFsParallelMatchesSerial(t *testing.T) {
+	m, train, val := tinySetup(t, 1)
+	cfg := testConfig(paf.FormF1G2)
+	p, err := NewPipeline(m, train, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := ProfileSlots(m, train, cfg.BatchSize, cfg.ProfileBatches, cfg.ProfileBins)
+	slots := p.targetSlots()
+	if len(slots) < 2 {
+		t.Fatalf("want ≥ 2 slots to exercise the fan-out, got %d", len(slots))
+	}
+
+	p.Cfg.Parallel = 0
+	serial, err := p.buildAllPAFs(slots, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, -1} {
+		p.Cfg.Parallel = workers
+		parallel, err := p.buildAllPAFs(slots, profiles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			a, b := serial[i], parallel[i]
+			if len(a.Stages) != len(b.Stages) {
+				t.Fatalf("workers=%d slot %d: stage count differs", workers, i)
+			}
+			for si := range a.Stages {
+				ca, cb := a.Stages[si].Coeffs, b.Stages[si].Coeffs
+				if len(ca) != len(cb) {
+					t.Fatalf("workers=%d slot %d stage %d: coeff count differs", workers, i, si)
+				}
+				for k := range ca {
+					if ca[k] != cb[k] {
+						t.Fatalf("workers=%d slot %d stage %d coeff %d: %v != %v",
+							workers, i, si, k, ca[k], cb[k])
+					}
+				}
+			}
+		}
+	}
+}

@@ -244,14 +244,18 @@ func (p *Pipeline) Run() (*Result, error) {
 
 	slots := p.targetSlots()
 
+	// Build every slot's tuned composite once, batch-parallel across slots
+	// when cfg.Parallel asks for it; each replacement site below clones it,
+	// so the three uses stay independent exactly as when built one by one.
+	comps, err := p.buildAllPAFs(slots, profiles)
+	if err != nil {
+		return nil, err
+	}
+
 	// Post-replacement accuracy without fine-tuning (Fig. 7): replace all
 	// targets, measure, then restore the exact operators.
-	for _, s := range slots {
-		c, err := p.buildPAF(s.Index, profiles)
-		if err != nil {
-			return nil, err
-		}
-		s.ReplaceWithPAF(c)
+	for i, s := range slots {
+		s.ReplaceWithPAF(comps[i].Clone())
 	}
 	res.InitialAcc = p.valAcc()
 	for _, s := range slots {
@@ -260,23 +264,15 @@ func (p *Pipeline) Run() (*Result, error) {
 
 	// Replacement + fine-tuning.
 	if cfg.PA {
-		for _, s := range slots {
-			c, err := p.buildPAF(s.Index, profiles)
-			if err != nil {
-				return nil, err
-			}
-			s.ReplaceWithPAF(c)
+		for i, s := range slots {
+			s.ReplaceWithPAF(comps[i].Clone())
 			p.event(EventReplace, fmt.Sprintf("%s %d", s.Kind, s.Index))
 			p.seedRunningMax(s, profiles)
 			p.runStep(fmt.Sprintf("slot%d", s.Index))
 		}
 	} else {
-		for _, s := range slots {
-			c, err := p.buildPAF(s.Index, profiles)
-			if err != nil {
-				return nil, err
-			}
-			s.ReplaceWithPAF(c)
+		for i, s := range slots {
+			s.ReplaceWithPAF(comps[i].Clone())
 			p.seedRunningMax(s, profiles)
 		}
 		p.event(EventReplace, "all")
