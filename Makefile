@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-fast bench fuzz clean-testcache
+.PHONY: all build vet fmt-check test test-fast bench fuzz clean-testcache serve-demo
 
 all: test
 
@@ -28,6 +28,12 @@ clean-testcache:
 
 bench:
 	$(GO) test -bench . -benchmem -run XXX .
+
+# End-to-end remote encrypted inference: spins up an in-process hennserve on
+# a loopback port, registers a session over HTTP, classifies encrypted
+# inputs and checks them against the plaintext reference.
+serve-demo:
+	$(GO) run ./examples/remote_mlp
 
 # Short fuzz pass over the modular-arithmetic primitives (one target per
 # invocation is a `go test` restriction).

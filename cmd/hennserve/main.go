@@ -1,0 +1,125 @@
+// Command hennserve is the encrypted-inference serving front end: it loads
+// (or trains) a deployed MLP and serves the internal/server HTTP protocol —
+// clients register a session with their public evaluation keys, POST
+// marshaled CKKS ciphertexts and decrypt the returned predictions locally.
+//
+// Usage:
+//
+//	hennserve                   # serve the synthetic demo model on :8555
+//	hennserve -train            # train a SMART-PAF MLP first, then serve it
+//	hennserve -addr :9000 -logn 12 -batch 32 -workers -1
+//
+// See README.md for the protocol and a client walkthrough.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/efficientfhe/smartpaf/internal/data"
+	"github.com/efficientfhe/smartpaf/internal/henn"
+	"github.com/efficientfhe/smartpaf/internal/nn"
+	"github.com/efficientfhe/smartpaf/internal/paf"
+	"github.com/efficientfhe/smartpaf/internal/server"
+	"github.com/efficientfhe/smartpaf/internal/smartpaf"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8555", "listen address")
+		logN    = flag.Int("logn", 11, "ring degree log2 (demo sizes; production wants >= 14)")
+		seed    = flag.Int64("seed", 7, "model seed")
+		train   = flag.Bool("train", false, "train a SMART-PAF MLP instead of serving the synthetic demo model")
+		batch   = flag.Int("batch", 16, "max requests coalesced into one inference batch")
+		workers = flag.Int("workers", -1, "batch workers (0/1 serial, <0 all cores)")
+		window  = flag.Duration("window", 0, "batch linger window (0 coalesces only queued requests)")
+	)
+	flag.Parse()
+
+	model, err := buildModel(*train, *seed, *logN)
+	if err != nil {
+		fail(err)
+	}
+	srv, err := server.New(model, server.Options{
+		MaxBatch:    *batch,
+		Workers:     *workers,
+		BatchWindow: *window,
+	})
+	if err != nil {
+		fail(err)
+	}
+	info := srv.Info()
+	fmt.Printf("hennserve: model %q (%d -> %d, %d levels), N=%d, %d rotation keys per session\n",
+		info.Name, info.InputDim, info.OutputDim, info.Levels, 1<<*logN, len(info.Rotations))
+	fmt.Printf("hennserve: listening on %s\n", *addr)
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Registration bodies are large (rotation-key sets), so the read
+		// timeout is generous — but bounded, so slow-POST connections
+		// cannot pile up indefinitely.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := httpSrv.ListenAndServe(); err != nil {
+		fail(err)
+	}
+}
+
+// buildModel returns either the synthetic demo model or a SMART-PAF-trained
+// MLP (the condensed private_mlp pipeline: pretrain, replace ReLUs with the
+// f1∘g2 PAF, fine-tune, freeze static scaling).
+func buildModel(train bool, seed int64, logN int) (*server.Model, error) {
+	if !train {
+		return server.DemoModel(seed, logN)
+	}
+	dcfg := data.Tiny()
+	dcfg.Channels = 1
+	dcfg.Size = 8
+	dcfg.Train, dcfg.Val = 400, 100
+	trainSet, valSet := data.Generate(dcfg)
+	model := nn.MLP([]int{64, 24, dcfg.Classes}, seed)
+	fmt.Print("hennserve: pretraining MLP... ")
+	start := time.Now()
+	smartpaf.Pretrain(model, trainSet, 12, 32, 3e-3, 1)
+	cfg := smartpaf.DefaultConfig(paf.FormF1G2)
+	cfg.Epochs, cfg.MaxGroupsPerStep = 2, 1
+	pipe, err := smartpaf.NewPipeline(model, trainSet, valSet, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := pipe.Run()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("done in %s (accuracy %.1f%% -> %.1f%% after SS)\n",
+		time.Since(start).Round(time.Second), res.OriginalAcc*100, res.FinalAccSS*100)
+	if err := model.Deploy(); err != nil {
+		return nil, err
+	}
+	model.SetScaleMode(nn.ScaleStatic)
+	mlp, err := henn.FromModel(model)
+	if err != nil {
+		return nil, err
+	}
+	lit, err := server.ParamsForMLP(mlp, logN)
+	if err != nil {
+		return nil, err
+	}
+	return &server.Model{
+		Name:      "smartpaf-mlp-64x24",
+		MLP:       mlp,
+		Params:    lit,
+		InputDim:  64,
+		OutputDim: dcfg.Classes,
+	}, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hennserve:", err)
+	os.Exit(1)
+}

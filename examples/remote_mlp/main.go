@@ -1,0 +1,144 @@
+// remote_mlp is the client side of the private-inference deployment story:
+//
+//  1. fetch the served model's prescribed CKKS parameters and required
+//     rotation steps,
+//  2. generate a key set locally and register the public half (public key,
+//     relinearization key, rotation keys) over HTTP,
+//  3. encrypt inputs, POST the ciphertexts, decrypt the returned
+//     predictions — the server never sees a plaintext or the secret key,
+//  4. fire a burst of concurrent requests to show the server coalescing
+//     them into batches on its shared evaluator.
+//
+// With no flags it spins up an in-process hennserve on a loopback port (so
+// the demo is self-contained and can verify predictions against the model's
+// plaintext reference); point -addr at a running hennserve to go remote.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/efficientfhe/smartpaf/internal/server"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "", "hennserve base URL (empty: start an in-process server)")
+		seed  = flag.Int64("seed", 42, "client key seed")
+		logN  = flag.Int("logn", 10, "ring degree log2 for the in-process server")
+		burst = flag.Int("burst", 8, "concurrent requests in the batching demo")
+	)
+	flag.Parse()
+	ctx := context.Background()
+
+	base := *addr
+	var model *server.Model
+	if base == "" {
+		var err error
+		model, err = server.DemoModel(7, *logN)
+		check(err)
+		srv, err := server.New(model, server.Options{Workers: -1})
+		check(err)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		check(err)
+		go func() { _ = http.Serve(ln, srv.Handler()) }()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("in-process hennserve on %s\n", base)
+	}
+
+	client := server.NewClient(base, nil)
+	info, err := client.Model(ctx)
+	check(err)
+	fmt.Printf("model %q: %d -> %d, %d levels, %d rotation keys required\n",
+		info.Name, info.InputDim, info.OutputDim, info.Levels, len(info.Rotations))
+
+	start := time.Now()
+	sess, err := client.NewSession(ctx, *seed)
+	check(err)
+	fmt.Printf("session %s... registered in %s (keygen + upload)\n", sess.ID()[:8], time.Since(start).Round(time.Millisecond))
+
+	// Encrypted predictions, checked against the plaintext reference when
+	// the model is local.
+	rng := rand.New(rand.NewSource(3))
+	agree := 0
+	const trials = 3
+	for trial := 0; trial < trials; trial++ {
+		x := make([]float64, info.InputDim)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		start := time.Now()
+		logits, err := sess.Infer(ctx, x)
+		check(err)
+		lat := time.Since(start)
+		if model != nil {
+			plain := model.MLP.InferPlain(x)[:info.OutputDim]
+			match := argmax(logits) == argmax(plain)
+			if match {
+				agree++
+			}
+			fmt.Printf("  input %d: encrypted pred %d, plaintext pred %d, match=%v (%s)\n",
+				trial, argmax(logits), argmax(plain), match, lat.Round(time.Millisecond))
+		} else {
+			fmt.Printf("  input %d: encrypted pred %d (%s)\n", trial, argmax(logits), lat.Round(time.Millisecond))
+		}
+	}
+	if model != nil {
+		fmt.Printf("encrypted/plaintext agreement: %d/%d\n", agree, trials)
+		if agree != trials {
+			fmt.Fprintln(os.Stderr, "remote_mlp: encrypted predictions diverged from the plaintext reference")
+			os.Exit(1)
+		}
+	}
+
+	// Batching demo: a burst of concurrent requests against one session.
+	fmt.Printf("\nfiring %d concurrent requests (server batches them onto the shared evaluator)...\n", *burst)
+	x := make([]float64, info.InputDim)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	var wg sync.WaitGroup
+	start = time.Now()
+	errs := make(chan error, *burst)
+	for c := 0; c < *burst; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := sess.Infer(ctx, x); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		check(err)
+	}
+	wall := time.Since(start)
+	fmt.Printf("%d concurrent requests in %s (%.2f req/s)\n", *burst, wall.Round(time.Millisecond),
+		float64(*burst)/wall.Seconds())
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remote_mlp:", err)
+		os.Exit(1)
+	}
+}

@@ -54,11 +54,10 @@ type RelinearizationKey struct {
 
 // KeyGenerator produces the key material. Deterministic given the seed.
 type KeyGenerator struct {
-	params    *Parameters
-	samplerQ  *ring.Sampler
-	samplerP  *ring.Sampler
-	seed      int64
-	nextSeeds int64
+	params   *Parameters
+	samplerQ *ring.Sampler
+	samplerP *ring.Sampler
+	seed     int64
 }
 
 // NewKeyGenerator returns a generator seeded deterministically.

@@ -68,6 +68,21 @@ func readPoly(r io.Reader) (*ring.Poly, error) {
 	return p, nil
 }
 
+// checkSameDegree rejects deserialized structures whose component polynomials
+// disagree on the ring degree N. readPoly validates each poly in isolation;
+// without this cross-check a hostile payload can pair components from
+// different rings and corrupt later arithmetic instead of erroring at the
+// boundary.
+func checkSameDegree(ps ...*ring.Poly) error {
+	n := len(ps[0].Coeffs[0])
+	for _, p := range ps[1:] {
+		if len(p.Coeffs[0]) != n {
+			return fmt.Errorf("ckks: component ring degrees disagree (%d vs %d)", n, len(p.Coeffs[0]))
+		}
+	}
+	return nil
+}
+
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (lit ParametersLiteral) MarshalBinary() ([]byte, error) {
 	var buf bytes.Buffer
@@ -156,11 +171,14 @@ func (ct *Ciphertext) UnmarshalBinary(data []byte) error {
 	}
 	ct.Level = int(lvl)
 	ct.Scale = floatFromBits(bits)
+	if math.IsNaN(ct.Scale) || math.IsInf(ct.Scale, 0) || ct.Scale <= 0 {
+		return fmt.Errorf("ckks: implausible ciphertext scale %g", ct.Scale)
+	}
 	if ct.C0.Level() != ct.Level || ct.C1.Level() != ct.Level {
 		return fmt.Errorf("ckks: ciphertext level %d does not match %d/%d limbs",
 			ct.Level, ct.C0.Level(), ct.C1.Level())
 	}
-	return nil
+	return checkSameDegree(ct.C0, ct.C1)
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
@@ -182,46 +200,220 @@ func (pk *PublicKey) UnmarshalBinary(data []byte) error {
 	if pk.B, err = readPoly(r); err != nil {
 		return err
 	}
-	pk.A, err = readPoly(r)
-	return err
+	if pk.A, err = readPoly(r); err != nil {
+		return err
+	}
+	if pk.B.Level() != pk.A.Level() {
+		return fmt.Errorf("ckks: public key components have %d/%d limbs", pk.B.Level()+1, pk.A.Level()+1)
+	}
+	return checkSameDegree(pk.B, pk.A)
+}
+
+// writeDigits serializes a gadget digit list (shared by relinearization and
+// switching keys, which have identical wire layouts).
+func writeDigits(w io.Writer, digits []EvaluationKeyDigit) error {
+	if err := writeU32(w, uint32(len(digits))); err != nil {
+		return err
+	}
+	for i := range digits {
+		d := &digits[i]
+		for _, p := range []*ring.Poly{d.BQ, d.AQ, d.BP, d.AP} {
+			if err := writePoly(w, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// readDigits deserializes a gadget digit list, enforcing one ring degree
+// across every component of every digit.
+func readDigits(r io.Reader) ([]EvaluationKeyDigit, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > 64 {
+		return nil, fmt.Errorf("ckks: implausible digit count %d", n)
+	}
+	digits := make([]EvaluationKeyDigit, n)
+	for i := range digits {
+		d := &digits[i]
+		for _, dst := range []**ring.Poly{&d.BQ, &d.AQ, &d.BP, &d.AP} {
+			if *dst, err = readPoly(r); err != nil {
+				return nil, err
+			}
+		}
+		if err := checkSameDegree(d.BQ, d.AQ, d.BP, d.AP); err != nil {
+			return nil, err
+		}
+		if err := checkSameDegree(digits[0].BQ, d.BQ); err != nil {
+			return nil, err
+		}
+		// The key-switch loop indexes all four components in lockstep, so
+		// limb counts must agree within a digit and across the digit list.
+		if d.BQ.Level() != d.AQ.Level() || d.BP.Level() != d.AP.Level() ||
+			d.BQ.Level() != digits[0].BQ.Level() || d.BP.Level() != digits[0].BP.Level() {
+			return nil, fmt.Errorf("ckks: digit %d limb counts disagree (%d/%d Q, %d/%d P)",
+				i, d.BQ.Level()+1, d.AQ.Level()+1, d.BP.Level()+1, d.AP.Level()+1)
+		}
+	}
+	return digits, nil
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (rlk *RelinearizationKey) MarshalBinary() ([]byte, error) {
 	var buf bytes.Buffer
-	if err := writeU32(&buf, uint32(len(rlk.Digits))); err != nil {
+	if err := writeDigits(&buf, rlk.Digits); err != nil {
 		return nil, err
-	}
-	for i := range rlk.Digits {
-		d := &rlk.Digits[i]
-		for _, p := range []*ring.Poly{d.BQ, d.AQ, d.BP, d.AP} {
-			if err := writePoly(&buf, p); err != nil {
-				return nil, err
-			}
-		}
 	}
 	return buf.Bytes(), nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
 func (rlk *RelinearizationKey) UnmarshalBinary(data []byte) error {
+	digits, err := readDigits(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	rlk.Digits = digits
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (swk *SwitchingKey) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := writeDigits(&buf, swk.Digits); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (swk *SwitchingKey) UnmarshalBinary(data []byte) error {
+	digits, err := readDigits(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	swk.Digits = digits
+	return nil
+}
+
+// rotationKeyMagic distinguishes a rotation-key-set payload; the set is the
+// largest object a client uploads, so a cheap front check beats failing deep
+// inside a digit list.
+const rotationKeyMagic = uint32(0x5AF7CC06)
+
+// MarshalBinary implements encoding.BinaryMarshaler. Steps are written in
+// sorted order so equal sets serialize identically.
+func (rks *RotationKeySet) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := writeU32(&buf, rotationKeyMagic); err != nil {
+		return nil, err
+	}
+	steps := rks.Steps()
+	if err := writeU32(&buf, uint32(len(steps))); err != nil {
+		return nil, err
+	}
+	for _, step := range steps {
+		if err := writeU32(&buf, uint32(step)); err != nil {
+			return nil, err
+		}
+		if err := writeDigits(&buf, rks.keys[step].Digits); err != nil {
+			return nil, err
+		}
+	}
+	conj := uint32(0)
+	if rks.conjugation != nil {
+		conj = 1
+	}
+	if err := writeU32(&buf, conj); err != nil {
+		return nil, err
+	}
+	if rks.conjugation != nil {
+		if err := writeDigits(&buf, rks.conjugation.Digits); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (rks *RotationKeySet) UnmarshalBinary(data []byte) error {
 	r := bytes.NewReader(data)
+	magic, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if magic != rotationKeyMagic {
+		return fmt.Errorf("ckks: bad rotation-key magic %#x", magic)
+	}
 	n, err := readU32(r)
 	if err != nil {
 		return err
 	}
-	if n == 0 || n > 64 {
-		return fmt.Errorf("ckks: implausible digit count %d", n)
+	if n > 1<<16 {
+		return fmt.Errorf("ckks: implausible rotation-key count %d", n)
 	}
-	rlk.Digits = make([]EvaluationKeyDigit, n)
-	for i := range rlk.Digits {
-		d := &rlk.Digits[i]
-		for _, dst := range []**ring.Poly{&d.BQ, &d.AQ, &d.BP, &d.AP} {
-			if *dst, err = readPoly(r); err != nil {
-				return err
-			}
+	// Keys must agree on one shape across the whole set (readDigits only
+	// checks within a key) — a set mixing ring degrees or chain lengths
+	// would panic the key-switch loop instead of erroring here.
+	var ref []EvaluationKeyDigit
+	checkShape := func(digits []EvaluationKeyDigit) error {
+		if ref == nil {
+			ref = digits
+			return nil
 		}
+		if len(digits) != len(ref) {
+			return fmt.Errorf("ckks: rotation keys disagree on digit count (%d vs %d)", len(digits), len(ref))
+		}
+		if digits[0].BQ.Level() != ref[0].BQ.Level() || digits[0].BP.Level() != ref[0].BP.Level() {
+			return fmt.Errorf("ckks: rotation keys disagree on limb counts")
+		}
+		return checkSameDegree(ref[0].BQ, digits[0].BQ)
 	}
+	keys := make(map[int]*SwitchingKey, n)
+	for i := uint32(0); i < n; i++ {
+		step, err := readU32(r)
+		if err != nil {
+			return err
+		}
+		if step == 0 || step > 1<<20 {
+			return fmt.Errorf("ckks: implausible rotation step %d", step)
+		}
+		if _, dup := keys[int(step)]; dup {
+			return fmt.Errorf("ckks: duplicate rotation step %d", step)
+		}
+		digits, err := readDigits(r)
+		if err != nil {
+			return err
+		}
+		if err := checkShape(digits); err != nil {
+			return err
+		}
+		keys[int(step)] = &SwitchingKey{Digits: digits}
+	}
+	conj, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	var conjKey *SwitchingKey
+	switch conj {
+	case 0:
+	case 1:
+		digits, err := readDigits(r)
+		if err != nil {
+			return err
+		}
+		if err := checkShape(digits); err != nil {
+			return err
+		}
+		conjKey = &SwitchingKey{Digits: digits}
+	default:
+		return fmt.Errorf("ckks: implausible conjugation flag %d", conj)
+	}
+	rks.keys = keys
+	rks.conjugation = conjKey
 	return nil
 }
 

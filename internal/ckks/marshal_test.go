@@ -1,8 +1,13 @@
 package ckks
 
 import (
+	"bytes"
+	"encoding/binary"
+	"math"
 	"math/rand"
 	"testing"
+
+	"github.com/efficientfhe/smartpaf/internal/ring"
 )
 
 func TestParametersLiteralRoundtrip(t *testing.T) {
@@ -80,6 +85,89 @@ func TestCiphertextBadInput(t *testing.T) {
 	}
 }
 
+// mutateScale rewrites the scale field (bytes 4..12) of a marshaled
+// ciphertext in place.
+func mutateScale(data []byte, scale float64) {
+	binary.LittleEndian.PutUint64(data[4:], math.Float64bits(scale))
+}
+
+// TestCiphertextRejectsHostileScale is the regression test for the wire bug
+// where a NaN/Inf/zero/negative scale round-tripped silently and corrupted
+// later arithmetic instead of erroring at the boundary.
+func TestCiphertextRejectsHostileScale(t *testing.T) {
+	tc := newTestContext(t, testLit)
+	pt, _ := tc.enc.Encode(make([]complex128, tc.params.Slots()), 2, tc.params.DefaultScale())
+	data, err := tc.encr.Encrypt(pt).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scale := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -tc.params.DefaultScale()} {
+		hostile := append([]byte(nil), data...)
+		mutateScale(hostile, scale)
+		var ct Ciphertext
+		if err := ct.UnmarshalBinary(hostile); err == nil {
+			t.Errorf("scale %g unmarshaled without error", scale)
+		}
+	}
+	// The untouched payload still round-trips.
+	var ct Ciphertext
+	if err := ct.UnmarshalBinary(data); err != nil {
+		t.Fatalf("valid ciphertext rejected: %v", err)
+	}
+}
+
+// TestCiphertextRejectsDegreeMismatch is the regression test for the wire
+// bug where C0 and C1 could deserialize with different ring degrees N (only
+// limb counts were checked).
+func TestCiphertextRejectsDegreeMismatch(t *testing.T) {
+	tc := newTestContext(t, testLit)
+	pt, _ := tc.enc.Encode(make([]complex128, tc.params.Slots()), 1, tc.params.DefaultScale())
+	ct := tc.encr.Encrypt(pt)
+
+	// Re-marshal by hand with C1 at half the ring degree but identical limb
+	// count: header (level, scale), full C0, shrunken C1.
+	var buf bytes.Buffer
+	if err := writeU32(&buf, uint32(ct.Level)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeU64(&buf, floatBits(ct.Scale)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writePoly(&buf, ct.C0); err != nil {
+		t.Fatal(err)
+	}
+	shrunk := &ring.Poly{Coeffs: make([][]uint64, len(ct.C1.Coeffs))}
+	for i := range shrunk.Coeffs {
+		shrunk.Coeffs[i] = ct.C1.Coeffs[i][:tc.params.N()/2]
+	}
+	if err := writePoly(&buf, shrunk); err != nil {
+		t.Fatal(err)
+	}
+	var got Ciphertext
+	if err := got.UnmarshalBinary(buf.Bytes()); err == nil {
+		t.Fatal("C0/C1 ring-degree mismatch unmarshaled without error")
+	}
+}
+
+func TestPublicKeyRejectsDegreeMismatch(t *testing.T) {
+	tc := newTestContext(t, testLit)
+	var buf bytes.Buffer
+	if err := writePoly(&buf, tc.pk.B); err != nil {
+		t.Fatal(err)
+	}
+	shrunk := &ring.Poly{Coeffs: make([][]uint64, len(tc.pk.A.Coeffs))}
+	for i := range shrunk.Coeffs {
+		shrunk.Coeffs[i] = tc.pk.A.Coeffs[i][:tc.params.N()/2]
+	}
+	if err := writePoly(&buf, shrunk); err != nil {
+		t.Fatal(err)
+	}
+	var pk PublicKey
+	if err := pk.UnmarshalBinary(buf.Bytes()); err == nil {
+		t.Fatal("B/A ring-degree mismatch unmarshaled without error")
+	}
+}
+
 func TestPublicKeyRoundtripEncrypts(t *testing.T) {
 	tc := newTestContext(t, testLit)
 	data, err := tc.pk.MarshalBinary()
@@ -126,5 +214,145 @@ func TestRelinearizationKeyRoundtripMultiplies(t *testing.T) {
 	}
 	if e := maxErr(want, tc.enc.Decode(tc.decr.Decrypt(prod))); e > 1e-4 {
 		t.Fatalf("multiplication under roundtripped rlk fails: %g", e)
+	}
+}
+
+// TestSwitchingKeyRoundtripRotates proves a switching key survives the wire:
+// a rotation under the roundtripped key set must still decrypt correctly.
+func TestSwitchingKeyRoundtripRotates(t *testing.T) {
+	tc := newTestContext(t, testLit)
+	rks := tc.kg.GenRotationKeys(tc.sk, []int{3}, false)
+
+	data, err := rks.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got RotationKeySet
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	eval := NewEvaluator(tc.params, tc.rlk).WithRotationKeys(&got)
+
+	rng := rand.New(rand.NewSource(91))
+	values := randomComplex(rng, tc.params.Slots(), 1)
+	pt, _ := tc.enc.Encode(values, tc.params.MaxLevel(), tc.params.DefaultScale())
+	rot, err := eval.Rotate(tc.encr.Encrypt(pt), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, len(values))
+	for i := range values {
+		want[i] = values[(i+3)%len(values)]
+	}
+	if e := maxErr(want, tc.enc.Decode(tc.decr.Decrypt(rot))); e > 1e-5 {
+		t.Fatalf("rotation under roundtripped key fails: %g", e)
+	}
+}
+
+// TestRotationKeySetRoundtrip checks the container metadata: step set and
+// conjugation flag survive, and equal sets serialize identically.
+func TestRotationKeySetRoundtrip(t *testing.T) {
+	tc := newTestContext(t, testLit)
+	rks := tc.kg.GenRotationKeys(tc.sk, []int{1, 5, 2, 5, -1}, true)
+
+	data, err := rks.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got RotationKeySet
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	wantSteps := rks.Steps()
+	gotSteps := got.Steps()
+	if len(gotSteps) != len(wantSteps) {
+		t.Fatalf("step count %d after roundtrip, want %d", len(gotSteps), len(wantSteps))
+	}
+	for i := range wantSteps {
+		if gotSteps[i] != wantSteps[i] {
+			t.Fatalf("steps %v after roundtrip, want %v", gotSteps, wantSteps)
+		}
+	}
+	if !got.HasConjugation() {
+		t.Fatal("conjugation key lost in roundtrip")
+	}
+	data2, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("re-marshaling a roundtripped set changed the bytes")
+	}
+
+	// Conjugation still works under the roundtripped set.
+	eval := NewEvaluator(tc.params, tc.rlk).WithRotationKeys(&got)
+	rng := rand.New(rand.NewSource(92))
+	values := randomComplex(rng, tc.params.Slots(), 1)
+	pt, _ := tc.enc.Encode(values, tc.params.MaxLevel(), tc.params.DefaultScale())
+	conj, err := eval.Conjugate(tc.encr.Encrypt(pt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, len(values))
+	for i := range values {
+		want[i] = complex(real(values[i]), -imag(values[i]))
+	}
+	if e := maxErr(want, tc.enc.Decode(tc.decr.Decrypt(conj))); e > 1e-5 {
+		t.Fatalf("conjugation under roundtripped key fails: %g", e)
+	}
+}
+
+func TestRotationKeySetBadInput(t *testing.T) {
+	var rks RotationKeySet
+	if err := rks.UnmarshalBinary([]byte{1, 2}); err == nil {
+		t.Fatal("expected error on truncated set")
+	}
+	tc := newTestContext(t, testLit)
+	good, err := tc.kg.GenRotationKeys(tc.sk, []int{1}, false).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if err := rks.UnmarshalBinary(bad); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+	if err := rks.UnmarshalBinary(good[:len(good)-5]); err == nil {
+		t.Fatal("expected error on truncated digits")
+	}
+}
+
+// TestRotationKeySetRejectsMixedShapes: keys inside one set must share a
+// ring degree/chain, or the spliced set would panic key-switching later.
+func TestRotationKeySetRejectsMixedShapes(t *testing.T) {
+	tc := newTestContext(t, testLit)
+	small := testLit
+	small.LogN = testLit.LogN - 1
+	tcSmall := newTestContext(t, small)
+
+	keyA, _ := tc.kg.GenRotationKeys(tc.sk, []int{1}, false).Key(1)
+	keyB, _ := tcSmall.kg.GenRotationKeys(tcSmall.sk, []int{3}, false).Key(3)
+
+	var buf bytes.Buffer
+	for _, v := range []uint32{rotationKeyMagic, 2, 1} {
+		if err := writeU32(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := writeDigits(&buf, keyA.Digits); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeU32(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeDigits(&buf, keyB.Digits); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeU32(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	var rks RotationKeySet
+	if err := rks.UnmarshalBinary(buf.Bytes()); err == nil {
+		t.Fatal("mixed-degree rotation-key set unmarshaled without error")
 	}
 }

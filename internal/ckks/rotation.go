@@ -2,7 +2,9 @@ package ckks
 
 import (
 	"fmt"
+	"sort"
 
+	"github.com/efficientfhe/smartpaf/internal/parallel"
 	"github.com/efficientfhe/smartpaf/internal/ring"
 )
 
@@ -18,8 +20,30 @@ type SwitchingKey struct {
 type RotationKeySet struct {
 	keys        map[int]*SwitchingKey // step -> key for φ_{5^step}(s)
 	conjugation *SwitchingKey
-	params      *Parameters
 }
+
+// Steps lists the normalized rotation steps the set has keys for, sorted.
+func (rks *RotationKeySet) Steps() []int {
+	out := make([]int, 0, len(rks.keys))
+	for step := range rks.keys {
+		out = append(out, step)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HasConjugation reports whether the set carries a conjugation key.
+func (rks *RotationKeySet) HasConjugation() bool { return rks.conjugation != nil }
+
+// Key returns the switching key for a normalized step, if present. Servers
+// use it to validate untrusted key material before first use.
+func (rks *RotationKeySet) Key(step int) (*SwitchingKey, bool) {
+	k, ok := rks.keys[step]
+	return k, ok
+}
+
+// ConjugationKey returns the conjugation switching key, or nil.
+func (rks *RotationKeySet) ConjugationKey() *SwitchingKey { return rks.conjugation }
 
 // galoisElement returns the Galois exponent k of X→X^k implementing a left
 // rotation of the slot vector by step positions: k = 5^step mod 2N.
@@ -55,14 +79,14 @@ func applyAutomorphism(r *ring.Ring, in *ring.Poly, k int) *ring.Poly {
 	return out
 }
 
-// genSwitchingKey builds a switching key from sourceQ/sourceP (NTT domain,
-// the key being switched *from*) to the canonical secret.
-func (kg *KeyGenerator) genSwitchingKey(sk *SecretKey, sourceQ, sourceP *ring.Poly) *SwitchingKey {
+// genSwitchingKey builds a switching key from sourceQ (NTT domain, the key
+// being switched *from*) to the canonical secret. Only the Q embedding of
+// the source is needed: the gadget term P·g_i·source vanishes mod P.
+func (kg *KeyGenerator) genSwitchingKey(sk *SecretKey, sourceQ *ring.Poly) *SwitchingKey {
 	L := kg.params.MaxLevel()
 	rq := kg.params.RingQ()
 	rp := kg.params.RingP()
 	swk := &SwitchingKey{Digits: make([]EvaluationKeyDigit, L+1)}
-	_ = sourceP // the P-limb of the gadget term is zero (multiplied by P)
 	for i := 0; i <= L; i++ {
 		aQ := kg.samplerQ.Uniform(L)
 		aP := kg.samplerP.Uniform(0)
@@ -93,45 +117,72 @@ func (kg *KeyGenerator) genSwitchingKey(sk *SecretKey, sourceQ, sourceP *ring.Po
 	return swk
 }
 
+// deriveSeed mixes the generator seed with a per-key tag (splitmix64 finisher)
+// so every switching key draws from an independent deterministic stream — the
+// set is reproducible regardless of generation order or worker count.
+func deriveSeed(seed, tag int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(tag)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // GenRotationKeys builds switching keys for the given rotation steps
 // (positive = rotate slot vector left) and, when conjugation is true, for
-// complex conjugation.
+// complex conjugation. Keys are independent, so generation fans across all
+// cores (rotation-key sets dominate serving-session setup otherwise); each
+// key's randomness is derived from the generator seed and its Galois element,
+// keeping the result deterministic under any schedule.
 func (kg *KeyGenerator) GenRotationKeys(sk *SecretKey, steps []int, conjugation bool) *RotationKeySet {
-	rks := &RotationKeySet{keys: map[int]*SwitchingKey{}, params: kg.params}
-	rq := kg.params.RingQ()
-	rp := kg.params.RingP()
+	uniq := make([]int, 0, len(steps))
+	seen := map[int]bool{}
 	for _, step := range steps {
 		norm := normalizeStep(step, kg.params.Slots())
-		if norm == 0 {
+		if norm == 0 || seen[norm] {
 			continue
 		}
-		if _, ok := rks.keys[norm]; ok {
-			continue
+		seen[norm] = true
+		uniq = append(uniq, norm)
+	}
+
+	jobs := len(uniq)
+	if conjugation {
+		jobs++
+	}
+	// The coefficient-domain secret is the same for every key: compute it
+	// once and share it read-only across the jobs (applyAutomorphism only
+	// reads its source). The P embedding is never needed — the gadget term
+	// P·g_i·source vanishes mod P.
+	rq := kg.params.RingQ()
+	skCoeff := sk.Q.CopyNew()
+	rq.INTT(skCoeff)
+
+	generated := make([]*SwitchingKey, jobs)
+	// The error func is vestigial here (key generation cannot fail); parallel.For
+	// is the repo-wide index fan.
+	_ = parallel.For(jobs, parallel.Workers(-1), func(i int) error {
+		k := 2*kg.params.N() - 1 // conjugation element, used by the extra job
+		if i < len(uniq) {
+			k = kg.params.galoisElement(uniq[i])
 		}
-		k := kg.params.galoisElement(norm)
-		// Source key is φ_k(s): apply the automorphism to s in coefficient
-		// domain for both rings.
-		skQ := sk.Q.CopyNew()
-		rq.INTT(skQ)
-		srcQ := applyAutomorphism(rq, skQ, k)
+		sub := &KeyGenerator{
+			params:   kg.params,
+			samplerQ: ring.NewSampler(kg.params.RingQ(), deriveSeed(kg.seed, int64(k))),
+			samplerP: ring.NewSampler(kg.params.RingP(), deriveSeed(kg.seed, int64(k))^0x5eed),
+		}
+		// Source secret φ_k(s) in NTT domain over Q.
+		srcQ := applyAutomorphism(rq, skCoeff, k)
 		rq.NTT(srcQ)
-		skP := sk.P.CopyNew()
-		rp.INTT(skP)
-		srcP := applyAutomorphism(rp, skP, k)
-		rp.NTT(srcP)
-		rks.keys[norm] = kg.genSwitchingKey(sk, srcQ, srcP)
+		generated[i] = sub.genSwitchingKey(sk, srcQ)
+		return nil
+	})
+
+	rks := &RotationKeySet{keys: make(map[int]*SwitchingKey, len(uniq))}
+	for i, norm := range uniq {
+		rks.keys[norm] = generated[i]
 	}
 	if conjugation {
-		k := 2*kg.params.N() - 1
-		skQ := sk.Q.CopyNew()
-		rq.INTT(skQ)
-		srcQ := applyAutomorphism(rq, skQ, k)
-		rq.NTT(srcQ)
-		skP := sk.P.CopyNew()
-		rp.INTT(skP)
-		srcP := applyAutomorphism(rp, skP, k)
-		rp.NTT(srcP)
-		rks.conjugation = kg.genSwitchingKey(sk, srcQ, srcP)
+		rks.conjugation = generated[len(uniq)]
 	}
 	return rks
 }

@@ -153,3 +153,24 @@ func TestRotateComposesWithArithmetic(t *testing.T) {
 		t.Fatalf("rotation does not commute with addition: %g", e)
 	}
 }
+
+// TestGenRotationKeysDeterministic pins the parallel key generation design:
+// every switching key draws from a stream derived from (seed, Galois
+// element), so the set is bit-identical across runs, step orderings and
+// worker schedules.
+func TestGenRotationKeysDeterministic(t *testing.T) {
+	tc := newTestContext(t, testLit)
+	a := tc.kg.GenRotationKeys(tc.sk, []int{1, 2, 9}, true)
+	b := NewKeyGenerator(tc.params, 12345).GenRotationKeys(tc.sk, []int{9, 1, 2, 1}, true)
+	ab, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ab) != string(bb) {
+		t.Fatal("rotation key sets differ across orderings/runs")
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/efficientfhe/smartpaf/internal/server"
+)
+
+func init() {
+	register("serve", ServeLoad)
+}
+
+// ServeLoad measures the hennserve front end under concurrent encrypted
+// traffic: one registered session, increasing numbers of concurrent clients
+// firing over real loopback HTTP, with the server coalescing queued requests
+// into InferBatch calls on its shared evaluator. The serial row (1 client,
+// sequential requests) is the baseline; the speedup column is batched
+// throughput over that baseline. Item-level batching only pays on multi-core
+// hardware — on one core the table documents the overhead instead.
+func ServeLoad(opt Options) error {
+	logN, perClient := 9, 3
+	if !opt.Fast {
+		logN, perClient = 12, 4
+	}
+
+	// Unset knob: batch workers default to all cores, since a one-worker
+	// "batched" column is just the serial column again (parlat's rule).
+	// An explicit -parallel 1 is honored.
+	workers := opt.Parallel
+	if workers == 0 {
+		workers = -1
+	}
+
+	model, err := server.DemoModel(opt.Seed, logN)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(model, server.Options{MaxBatch: 16, Workers: workers})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+
+	ctx := context.Background()
+	client := server.NewClient("http://"+ln.Addr().String(), nil)
+
+	regStart := time.Now()
+	sess, err := client.NewSession(ctx, opt.Seed^0xc11e47)
+	if err != nil {
+		return err
+	}
+	regTime := time.Since(regStart)
+
+	info := sess.Model()
+	x := make([]float64, info.InputDim)
+	for i := range x {
+		x[i] = float64(i%7)/7.0 - 0.5
+	}
+	if _, err := sess.Infer(ctx, x); err != nil { // warm caches before timing
+		return err
+	}
+
+	fmt.Fprintf(opt.W, "model %q: N=%d, %d levels, %d rotation keys; session setup %s\n",
+		info.Name, 1<<logN, info.Levels, len(info.Rotations), regTime.Round(time.Millisecond))
+
+	t := newTable(fmt.Sprintf("Serving throughput vs concurrent clients (GOMAXPROCS=%d, batch<=16)", runtime.GOMAXPROCS(0)),
+		"clients", "requests", "wall", "req/s", "mean latency", "speedup")
+
+	var baseline float64
+	for _, clients := range []int{1, 2, 4, 8} {
+		total := clients * perClient
+		var (
+			wg     sync.WaitGroup
+			mu     sync.Mutex
+			latSum time.Duration
+			runErr error
+		)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < perClient; r++ {
+					reqStart := time.Now()
+					_, err := sess.Infer(ctx, x)
+					mu.Lock()
+					latSum += time.Since(reqStart)
+					if err != nil && runErr == nil {
+						runErr = err
+					}
+					mu.Unlock()
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if runErr != nil {
+			return runErr
+		}
+		wall := time.Since(start)
+		tput := float64(total) / wall.Seconds()
+		if clients == 1 {
+			baseline = tput
+		}
+		t.addRowf("%d|%d|%s|%.2f|%s|%.2fx", clients, total,
+			wall.Round(time.Millisecond), tput,
+			(latSum / time.Duration(total)).Round(time.Millisecond), tput/baseline)
+	}
+	t.write(opt.W)
+	fmt.Fprintln(opt.W, "\nserial row = sequential single-client requests; other rows share the")
+	fmt.Fprintln(opt.W, "session, so the server batches whatever queues behind the evaluator.")
+	return nil
+}

@@ -28,3 +28,17 @@ func (ctx *Context) InferBatch(mlp *MLP, cts []*ckks.Ciphertext, workers int) ([
 	}
 	return out, nil
 }
+
+// InferBatchEach is InferBatch with per-item failure isolation: every input
+// gets its own result or error, and one bad input cannot discard its
+// batch-mates' work. Serving batchers use this; InferBatch's all-or-nothing
+// contract suits experiment harnesses.
+func (ctx *Context) InferBatchEach(mlp *MLP, cts []*ckks.Ciphertext, workers int) ([]*ckks.Ciphertext, []error) {
+	out := make([]*ckks.Ciphertext, len(cts))
+	errs := make([]error, len(cts))
+	_ = parallel.For(len(cts), parallel.Workers(workers), func(i int) error {
+		out[i], errs[i] = ctx.Infer(mlp, cts[i])
+		return nil
+	})
+	return out, errs
+}

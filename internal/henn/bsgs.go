@@ -83,11 +83,8 @@ func (ctx *Context) ApplyLinearBSGS(l *Linear, ct *ckks.Ciphertext) (*ckks.Ciphe
 	targetScale := ct.Scale
 	constScale := float64(ctx.Params.Q()[ct.Level]) // lands back on targetScale after rescale
 
-	nonzero := map[int]bool{}
-	for _, d := range l.diagonals(slots) {
-		nonzero[d] = true
-	}
-	if len(nonzero) == 0 {
+	plan := l.diagonalPlan(slots)
+	if len(plan.diags) == 0 {
 		return nil, fmt.Errorf("henn: all-zero weight matrix")
 	}
 
@@ -111,27 +108,25 @@ func (ctx *Context) ApplyLinearBSGS(l *Linear, ct *ckks.Ciphertext) (*ckks.Ciphe
 		var inner *ckks.Ciphertext
 		for b := 0; b < n1; b++ {
 			d := g*n1 + b
-			if !nonzero[d] {
+			diag := plan.vec[d]
+			if diag == nil {
 				continue
-			}
-			diag := make([]float64, slots)
-			for i := 0; i < l.Out; i++ {
-				j := (i + d) % slots
-				if j < l.In {
-					diag[i] = l.W[i][j]
-				}
-			}
-			// Plaintext rotation by -g·n1 (free).
-			rotated := make([]float64, slots)
-			shift := g * n1
-			for i := range diag {
-				rotated[(i+shift)%slots] = diag[i]
 			}
 			rb, err := baby(b)
 			if err != nil {
 				return nil, fmt.Errorf("henn: baby rotation %d: %w", b, err)
 			}
-			pt, err := ctx.Enc.EncodeReals(rotated, rb.Level, constScale)
+			pt, err := l.encodedPlaintext(
+				ptKey{enc: ctx.Enc, d: d, bsgs: true, level: rb.Level, scale: constScale},
+				func() []float64 {
+					// Plaintext rotation by -g·n1 (free).
+					rotated := make([]float64, slots)
+					shift := g * n1
+					for i := range diag {
+						rotated[(i+shift)%slots] = diag[i]
+					}
+					return rotated
+				})
 			if err != nil {
 				return nil, err
 			}
@@ -165,16 +160,8 @@ func (ctx *Context) ApplyLinearBSGS(l *Linear, ct *ckks.Ciphertext) (*ckks.Ciphe
 		return nil, err
 	}
 	out.Scale = targetScale
-	if l.B != nil {
-		bias := make([]float64, slots)
-		copy(bias, l.B)
-		pt, err := ctx.Enc.EncodeReals(bias, out.Level, out.Scale)
-		if err != nil {
-			return nil, err
-		}
-		if out, err = ctx.Eval.AddPlain(out, pt); err != nil {
-			return nil, err
-		}
+	if out, err = l.addBias(ctx, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

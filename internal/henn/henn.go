@@ -10,6 +10,7 @@ package henn
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/efficientfhe/smartpaf/internal/ckks"
 	"github.com/efficientfhe/smartpaf/internal/hepoly"
@@ -18,11 +19,108 @@ import (
 )
 
 // Linear is a plaintext-weight fully connected layer applied to an encrypted
-// activation vector laid out in the first In slots.
+// activation vector laid out in the first In slots. Weights are static once
+// the layer is built (deployment freezes them), so the diagonal decomposition
+// is computed once per slot count and cached — the serving hot path must not
+// re-derive an O(slots·Out) structure on every inference.
 type Linear struct {
 	In, Out int
 	W       [][]float64 // W[i][j]: weight from input j to output i
 	B       []float64
+
+	planMu sync.Mutex
+	plan   *diagPlan
+
+	ptMu sync.RWMutex
+	pts  map[ptKey]*ckks.Plaintext
+}
+
+// ptKey identifies one cached encoding of a static slot vector. The encoder
+// pointer scopes the cache to a parameter set, so one Linear reused under
+// different parameters (tests do this) cannot alias encodings.
+type ptKey struct {
+	enc   *ckks.Encoder
+	d     int  // diagonal index; -1 is the bias vector
+	bsgs  bool // the BSGS path stores giant-step-rotated diagonals
+	level int
+	scale float64
+}
+
+// encodedPlaintext memoizes the encoding of a static slot vector. Plaintexts
+// are read-only to the evaluator, so every request and session can share
+// them; this takes per-diagonal encoding off the serving hot path (vec is
+// only called on a miss).
+func (l *Linear) encodedPlaintext(key ptKey, vec func() []float64) (*ckks.Plaintext, error) {
+	l.ptMu.RLock()
+	pt, ok := l.pts[key]
+	l.ptMu.RUnlock()
+	if ok {
+		return pt, nil
+	}
+	pt, err := key.enc.EncodeReals(vec(), key.level, key.scale)
+	if err != nil {
+		return nil, err
+	}
+	l.ptMu.Lock()
+	if l.pts == nil {
+		l.pts = map[ptKey]*ckks.Plaintext{}
+	}
+	// Bound level/scale churn by evicting single arbitrary entries. The cap
+	// comfortably exceeds one inference's working set (≤ In+Out-1 diagonals
+	// plus the bias per (level, scale)), so the steady-state serving path
+	// never evicts what it is about to reuse.
+	for limit := 2*(l.In+l.Out) + 16; len(l.pts) >= limit; {
+		for k := range l.pts {
+			delete(l.pts, k)
+			break
+		}
+	}
+	l.pts[key] = pt
+	l.ptMu.Unlock()
+	return pt, nil
+}
+
+// diagPlan is the cached diagonal decomposition of W at one slot count:
+// the generalized diagonals with any nonzero entry and, for each, the
+// ready-to-encode slot vector u_d[i] = W[i][(i+d) mod slots].
+type diagPlan struct {
+	slots int
+	diags []int
+	vec   map[int][]float64
+}
+
+// diagonalPlan returns the cached plan for the slot count, building it on
+// first use. Safe for concurrent callers (batched serving hits one Linear
+// from many goroutines).
+func (l *Linear) diagonalPlan(slots int) *diagPlan {
+	l.planMu.Lock()
+	defer l.planMu.Unlock()
+	if l.plan != nil && l.plan.slots == slots {
+		return l.plan
+	}
+	// Out is clamped to the slot count: rows beyond it cannot appear in a
+	// slot vector (such a layer fails ApplyLinear's dimension check anyway;
+	// the plan must still not panic for callers like RequiredRotations).
+	rows := min(l.Out, slots)
+	p := &diagPlan{slots: slots, vec: map[int][]float64{}}
+	for d := 0; d < slots; d++ {
+		var u []float64
+		for i := 0; i < rows; i++ {
+			j := (i + d) % slots
+			if j < l.In && l.W[i][j] != 0 {
+				if u == nil {
+					u = make([]float64, slots)
+				}
+				u[i] = l.W[i][j]
+			}
+		}
+		if u != nil {
+			p.diags = append(p.diags, d)
+			p.vec[d] = u
+		}
+	}
+	l.plan = p
+	return p
 }
 
 // Activation is a deployed PAF activation: out = Scale·relu_p(x/Scale).
@@ -133,21 +231,7 @@ func (mlp *MLP) LevelsRequired() int {
 // diagonals lists the generalized diagonals d with any nonzero entry:
 // u_d[i] = W[i][(i+d) mod slots].
 func (l *Linear) diagonals(slots int) []int {
-	var out []int
-	for d := 0; d < slots; d++ {
-		nonzero := false
-		for i := 0; i < l.Out; i++ {
-			j := (i + d) % slots
-			if j < l.In && l.W[i][j] != 0 {
-				nonzero = true
-				break
-			}
-		}
-		if nonzero {
-			out = append(out, d)
-		}
-	}
-	return out
+	return l.diagonalPlan(slots).diags
 }
 
 // Context bundles the machinery for encrypted inference.
@@ -177,20 +261,16 @@ func (ctx *Context) ApplyLinear(l *Linear, ct *ckks.Ciphertext) (*ckks.Ciphertex
 	ql := float64(ctx.Params.Q()[ct.Level])
 	constScale := targetScale * ql / ct.Scale // = ql: lands back on targetScale
 
+	plan := l.diagonalPlan(slots)
 	var acc *ckks.Ciphertext
-	for _, d := range l.diagonals(slots) {
+	for _, d := range plan.diags {
 		rot, err := ctx.Eval.Rotate(ct, d)
 		if err != nil {
 			return nil, fmt.Errorf("henn: diagonal %d: %w", d, err)
 		}
-		diag := make([]float64, slots)
-		for i := 0; i < l.Out; i++ {
-			j := (i + d) % slots
-			if j < l.In {
-				diag[i] = l.W[i][j]
-			}
-		}
-		pt, err := ctx.Enc.EncodeReals(diag, rot.Level, constScale)
+		pt, err := l.encodedPlaintext(
+			ptKey{enc: ctx.Enc, d: d, level: rot.Level, scale: constScale},
+			func() []float64 { return plan.vec[d] })
 		if err != nil {
 			return nil, err
 		}
@@ -211,19 +291,29 @@ func (ctx *Context) ApplyLinear(l *Linear, ct *ckks.Ciphertext) (*ckks.Ciphertex
 		return nil, err
 	}
 	out.Scale = targetScale
-	// Bias.
-	if l.B != nil {
-		bias := make([]float64, slots)
-		copy(bias, l.B)
-		pt, err := ctx.Enc.EncodeReals(bias, out.Level, out.Scale)
-		if err != nil {
-			return nil, err
-		}
-		if out, err = ctx.Eval.AddPlain(out, pt); err != nil {
-			return nil, err
-		}
+	if out, err = l.addBias(ctx, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// addBias adds the (cached) encoded bias vector, if any.
+func (l *Linear) addBias(ctx *Context, out *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	if l.B == nil {
+		return out, nil
+	}
+	slots := ctx.Params.Slots()
+	pt, err := l.encodedPlaintext(
+		ptKey{enc: ctx.Enc, d: -1, level: out.Level, scale: out.Scale},
+		func() []float64 {
+			bias := make([]float64, slots)
+			copy(bias, l.B)
+			return bias
+		})
+	if err != nil {
+		return nil, err
+	}
+	return ctx.Eval.AddPlain(out, pt)
 }
 
 // ApplyActivation computes Scale·relu_p(x/Scale): one constant level for the

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/efficientfhe/smartpaf/internal/ckks"
+)
+
+// Client talks to a hennserve instance. It is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient wraps the base URL (e.g. "http://127.0.0.1:8555"). A nil
+// http.Client uses http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// apiError surfaces the server's JSON error body.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("server: %s (%s)", e.Error, resp.Status)
+	}
+	return fmt.Errorf("server: %s", resp.Status)
+}
+
+// Model fetches the served model's description.
+func (c *Client) Model(ctx context.Context) (*ModelInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/model", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	info := new(ModelInfo)
+	if err := json.NewDecoder(resp.Body).Decode(info); err != nil {
+		return nil, fmt.Errorf("decoding model info: %w", err)
+	}
+	return info, nil
+}
+
+// Session is a registered client session. The secret key never leaves it:
+// encryption and decryption happen locally, only ciphertexts and public
+// evaluation keys cross the wire. Safe for concurrent Infer calls.
+type Session struct {
+	c      *Client
+	id     string
+	info   *ModelInfo
+	params *ckks.Parameters
+	enc    *ckks.Encoder
+	encr   *ckks.Encryptor
+	decr   *ckks.Decryptor
+}
+
+// NewSession fetches the model info, generates a key set under the server's
+// prescribed parameters and registers the public half. The seed drives the
+// deterministic key generation (each client should pick its own).
+func (c *Client) NewSession(ctx context.Context, seed int64) (*Session, error) {
+	info, err := c.Model(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var lit ckks.ParametersLiteral
+	if err := lit.UnmarshalBinary(info.Params); err != nil {
+		return nil, fmt.Errorf("prescribed parameters: %w", err)
+	}
+	params, err := ckks.NewParameters(lit)
+	if err != nil {
+		return nil, fmt.Errorf("compiling prescribed parameters: %w", err)
+	}
+
+	kg := ckks.NewKeyGenerator(params, seed)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinearizationKey(sk)
+	rks := kg.GenRotationKeys(sk, info.Rotations, false)
+
+	pkBytes, err := pk.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	rlkBytes, err := rlk.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	rksBytes, err := rks.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(registerRequest{
+		Params:       info.Params,
+		PublicKey:    pkBytes,
+		RelinKey:     rlkBytes,
+		RotationKeys: rksBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sessions", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var reg registerResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		return nil, fmt.Errorf("decoding registration: %w", err)
+	}
+	return &Session{
+		c:      c,
+		id:     reg.SessionID,
+		info:   info,
+		params: params,
+		enc:    ckks.NewEncoder(params),
+		encr:   ckks.NewEncryptor(params, pk, seed^0x7e57),
+		decr:   ckks.NewDecryptor(params, sk),
+	}, nil
+}
+
+// ID returns the server-assigned session id.
+func (s *Session) ID() string { return s.id }
+
+// Close deletes the session server-side, releasing its key material and
+// batcher. The session's local keys stay usable (e.g. to decrypt responses
+// already in flight).
+func (s *Session) Close(ctx context.Context) error {
+	url := fmt.Sprintf("%s/v1/sessions/%s", s.c.base, s.id)
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return apiError(resp)
+	}
+	return nil
+}
+
+// Model returns the info the session was built against.
+func (s *Session) Model() *ModelInfo { return s.info }
+
+// InferCiphertext round-trips one already-encrypted input through the
+// server and returns the encrypted result.
+func (s *Session) InferCiphertext(ctx context.Context, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	data, err := ct.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	url := fmt.Sprintf("%s/v1/sessions/%s/infer", s.c.base, s.id)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := new(ckks.Ciphertext)
+	if err := out.UnmarshalBinary(body); err != nil {
+		return nil, fmt.Errorf("decoding result ciphertext: %w", err)
+	}
+	return out, nil
+}
+
+// Infer encrypts the input vector, runs it through the server and returns
+// the decrypted output logits (OutputDim values).
+func (s *Session) Infer(ctx context.Context, x []float64) ([]float64, error) {
+	if len(x) > s.info.InputDim {
+		return nil, fmt.Errorf("input has %d features, model takes %d", len(x), s.info.InputDim)
+	}
+	vec := make([]float64, s.params.Slots())
+	copy(vec, x)
+	pt, err := s.enc.EncodeReals(vec, s.params.MaxLevel(), s.params.DefaultScale())
+	if err != nil {
+		return nil, err
+	}
+	out, err := s.InferCiphertext(ctx, s.encr.Encrypt(pt))
+	if err != nil {
+		return nil, err
+	}
+	logits := s.enc.DecodeReals(s.decr.Decrypt(out))
+	return logits[:s.info.OutputDim], nil
+}

@@ -1,0 +1,133 @@
+// Package server is the encrypted-inference serving front end: an HTTP
+// service that multiplexes many client sessions onto one shared
+// henn/ckks evaluation stack per model.
+//
+// The deployment story follows the marshal layer's framing: the client owns
+// the secret key and ships only public material — the parameters literal,
+// public key, relinearization key and rotation-key set — when registering a
+// session, then POSTs marshaled ciphertexts to the inference endpoint and
+// decrypts the returned result locally. The server never sees a plaintext.
+//
+// Protocol (all binary payloads use the internal/ckks wire format;
+// JSON []byte fields are base64 per encoding/json):
+//
+//	GET  /v1/model
+//	    -> {name, inputDim, outputDim, levels, slots, params, rotations}
+//	    The server prescribes the parameter literal; prime derivation is
+//	    deterministic, so both sides compile identical chains.
+//
+//	POST /v1/sessions
+//	    {params, publicKey, relinKey, rotationKeys} -> {sessionID}
+//	    params must byte-match the prescribed literal; rotationKeys must
+//	    cover every step in the model's rotations list.
+//
+//	POST /v1/sessions/{id}/infer
+//	    raw marshaled ciphertext -> raw marshaled ciphertext
+//	    Concurrent requests within a session are coalesced into batches
+//	    that flow through henn.Context.InferBatch on the shared evaluator.
+//
+// Errors are JSON {"error": "..."} with a 4xx/5xx status.
+package server
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/efficientfhe/smartpaf/internal/ckks"
+	"github.com/efficientfhe/smartpaf/internal/henn"
+	"github.com/efficientfhe/smartpaf/internal/paf"
+)
+
+// Model bundles everything the server needs to serve one deployed network:
+// the frozen henn MLP and the CKKS parameter literal sessions must use.
+type Model struct {
+	Name      string
+	MLP       *henn.MLP
+	Params    ckks.ParametersLiteral
+	InputDim  int
+	OutputDim int
+}
+
+// ModelInfo is the public description a client fetches before key
+// generation: the prescribed parameters and the rotation steps its key set
+// must cover.
+type ModelInfo struct {
+	Name      string `json:"name"`
+	InputDim  int    `json:"inputDim"`
+	OutputDim int    `json:"outputDim"`
+	Levels    int    `json:"levels"`
+	Slots     int    `json:"slots"`
+	Params    []byte `json:"params"`
+	Rotations []int  `json:"rotations"`
+}
+
+// Dims returns the (input, output) dimensions of an MLP's linear envelope.
+func Dims(mlp *henn.MLP) (in, out int, err error) {
+	for _, l := range mlp.Layers {
+		lin, ok := l.(*henn.Linear)
+		if !ok {
+			continue
+		}
+		if in == 0 {
+			in = lin.In
+		}
+		out = lin.Out
+	}
+	if in == 0 || out == 0 {
+		return 0, 0, fmt.Errorf("server: model has no linear layers")
+	}
+	return in, out, nil
+}
+
+// ParamsForMLP sizes a parameter literal for the model's inference depth at
+// the given ring degree, mirroring the repo's example sizing: one level of
+// headroom above LevelsRequired, a 55-bit base prime and 45-bit rescaling
+// primes.
+func ParamsForMLP(mlp *henn.MLP, logN int) (ckks.ParametersLiteral, error) {
+	if _, _, err := Dims(mlp); err != nil {
+		return ckks.ParametersLiteral{}, err
+	}
+	slots := 1 << (logN - 1)
+	// Every layer (not just the envelope) must fit the slot vector.
+	for _, l := range mlp.Layers {
+		if lin, ok := l.(*henn.Linear); ok && (lin.In > slots || lin.Out > slots) {
+			return ckks.ParametersLiteral{}, fmt.Errorf("server: layer %dx%d exceeds %d slots at LogN=%d", lin.Out, lin.In, slots, logN)
+		}
+	}
+	levels := mlp.LevelsRequired() + 1
+	logQ := make([]int, levels+1)
+	logQ[0] = 55
+	for i := 1; i <= levels; i++ {
+		logQ[i] = 45
+	}
+	return ckks.ParametersLiteral{LogN: logN, LogQ: logQ, LogP: 55, LogScale: 45}, nil
+}
+
+// DemoModel builds a small frozen MLP (16 -> 8 -> 4 with an f1∘g2 PAF
+// activation) with seeded random weights, sized for the given ring degree.
+// It stands in for a SMART-PAF-trained network in demos, load experiments
+// and tests; cmd/hennserve can serve a trained model instead.
+func DemoModel(seed int64, logN int) (*Model, error) {
+	rng := rand.New(rand.NewSource(seed))
+	newLinear := func(in, out int) *henn.Linear {
+		l := &henn.Linear{In: in, Out: out, B: make([]float64, out), W: make([][]float64, out)}
+		for i := range l.W {
+			l.W[i] = make([]float64, in)
+			for j := range l.W[i] {
+				l.W[i][j] = rng.NormFloat64() * 0.4
+			}
+			l.B[i] = rng.NormFloat64() * 0.1
+		}
+		return l
+	}
+	mlp := &henn.MLP{Layers: []any{
+		newLinear(16, 8),
+		&henn.Activation{PAF: paf.MustNew(paf.FormF1G2), Scale: 4},
+		newLinear(8, 4),
+	}}
+	lit, err := ParamsForMLP(mlp, logN)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Name: "demo-mlp-16x8x4", MLP: mlp, Params: lit, InputDim: 16, OutputDim: 4}, nil
+}

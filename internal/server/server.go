@@ -1,0 +1,537 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/efficientfhe/smartpaf/internal/ckks"
+	"github.com/efficientfhe/smartpaf/internal/henn"
+)
+
+// Options tune the serving front end. The zero value is usable.
+type Options struct {
+	// MaxBatch caps how many queued requests one InferBatch call absorbs.
+	// Default 16.
+	MaxBatch int
+	// Workers is the InferBatch worker knob, following the repo-wide
+	// convention: 0 or 1 runs the batch serially, negative uses all cores.
+	// Serving deployments want -1 (cmd/hennserve defaults to it).
+	Workers int
+	// BatchWindow is how long the batcher lingers after the first request
+	// arrives to let a batch fill. 0 coalesces only what is already queued
+	// (the batcher still forms batches whenever inference is the
+	// bottleneck, with no added latency when it is not). Default 0.
+	BatchWindow time.Duration
+	// MaxSessions caps live sessions. Default 64.
+	MaxSessions int
+	// SessionTTL evicts sessions idle for longer than this, so abandoned
+	// registrations cannot pin key material and batcher goroutines (or
+	// lock out new sessions) forever. Negative disables eviction.
+	// Default 30 minutes.
+	SessionTTL time.Duration
+	// MaxBodyBytes caps request bodies (rotation-key sets dominate).
+	// Default 1 GiB.
+	MaxBodyBytes int64
+	// QueueDepth is the per-session request queue. Default 1024.
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 16
+	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 64
+	}
+	if o.SessionTTL == 0 {
+		o.SessionTTL = 30 * time.Minute
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 30
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	return o
+}
+
+// Server multiplexes encrypted-inference sessions onto one shared model.
+// The henn/ckks stack is safe for concurrent use, so every session shares
+// the server's compiled parameters and encoder; each session owns only the
+// evaluator bound to its client's evaluation keys.
+type Server struct {
+	model      *Model
+	params     *ckks.Parameters
+	enc        *ckks.Encoder
+	info       ModelInfo
+	paramBytes []byte // canonical literal encoding sessions must match
+	opts       Options
+
+	mu       sync.RWMutex
+	sessions map[string]*session
+	closed   chan struct{}
+	wg       sync.WaitGroup
+}
+
+type session struct {
+	id string
+	// ctx carries the evaluator bound to this client's evaluation keys.
+	ctx  *henn.Context
+	jobs chan *inferJob
+	// done is closed when the session is deleted or evicted; the batcher
+	// exits and waiting handlers turn it into a 410.
+	done chan struct{}
+	// lastUsed is the unix-nano timestamp of the latest request, read by
+	// the TTL janitor.
+	lastUsed atomic.Int64
+}
+
+func (sess *session) touch() { sess.lastUsed.Store(time.Now().UnixNano()) }
+
+type inferJob struct {
+	ct   *ckks.Ciphertext
+	done chan inferResult
+}
+
+type inferResult struct {
+	ct  *ckks.Ciphertext
+	err error
+}
+
+// New compiles the model's parameters and returns a ready server.
+func New(model *Model, opts Options) (*Server, error) {
+	params, err := ckks.NewParameters(model.Params)
+	if err != nil {
+		return nil, fmt.Errorf("server: compiling model parameters: %w", err)
+	}
+	if need := model.MLP.LevelsRequired() + 1; params.MaxLevel() < need {
+		return nil, fmt.Errorf("server: parameters support %d levels, model needs %d", params.MaxLevel(), need)
+	}
+	paramBytes, err := model.Params.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		model:      model,
+		params:     params,
+		enc:        ckks.NewEncoder(params),
+		paramBytes: paramBytes,
+		opts:       opts.withDefaults(),
+		sessions:   map[string]*session{},
+		closed:     make(chan struct{}),
+	}
+	s.info = ModelInfo{
+		Name:      model.Name,
+		InputDim:  model.InputDim,
+		OutputDim: model.OutputDim,
+		Levels:    model.MLP.LevelsRequired(),
+		Slots:     params.Slots(),
+		Params:    paramBytes,
+		Rotations: model.MLP.RequiredRotations(params.Slots()),
+	}
+	if s.opts.SessionTTL > 0 {
+		s.wg.Add(1)
+		go s.janitor()
+	}
+	return s, nil
+}
+
+// janitor evicts sessions whose last request is older than SessionTTL.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.opts.SessionTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-s.opts.SessionTTL).UnixNano()
+		s.mu.Lock()
+		for id, sess := range s.sessions {
+			if sess.lastUsed.Load() < cutoff {
+				delete(s.sessions, id)
+				close(sess.done)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// removeSession deletes a session by id, reporting whether it existed.
+func (s *Server) removeSession(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+		close(sess.done)
+	}
+	return ok
+}
+
+// Info returns the model description served at /v1/model.
+func (s *Server) Info() ModelInfo { return s.info }
+
+// Close stops the per-session batchers and fails queued requests.
+func (s *Server) Close() {
+	s.mu.Lock()
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("POST /v1/sessions", s.handleRegister)
+	mux.HandleFunc("POST /v1/sessions/{id}/infer", s.handleInfer)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	return mux
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.removeSession(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.info)
+}
+
+// registerRequest carries the public key material of a new session over the
+// internal/ckks binary wire format.
+type registerRequest struct {
+	Params       []byte `json:"params"`
+	PublicKey    []byte `json:"publicKey"`
+	RelinKey     []byte `json:"relinKey"`
+	RotationKeys []byte `json:"rotationKeys"`
+}
+
+type registerResponse struct {
+	SessionID string `json:"sessionID"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding registration: %v", err)
+		return
+	}
+	if string(req.Params) != string(s.paramBytes) {
+		writeError(w, http.StatusBadRequest,
+			"session parameters do not match the model's prescribed literal; fetch GET /v1/model")
+		return
+	}
+	// The public key is part of the registration payload (future server-side
+	// uses like result re-randomization encrypt under it); today it is only
+	// validated, not retained.
+	pk := new(ckks.PublicKey)
+	if err := pk.UnmarshalBinary(req.PublicKey); err != nil {
+		writeError(w, http.StatusBadRequest, "public key: %v", err)
+		return
+	}
+	if pk.B.Level() != s.params.MaxLevel() || len(pk.B.Coeffs[0]) != s.params.N() {
+		writeError(w, http.StatusBadRequest, "public key was built for different parameters")
+		return
+	}
+	rlk := new(ckks.RelinearizationKey)
+	if err := rlk.UnmarshalBinary(req.RelinKey); err != nil {
+		writeError(w, http.StatusBadRequest, "relinearization key: %v", err)
+		return
+	}
+	if err := s.checkDigits(rlk.Digits); err != nil {
+		writeError(w, http.StatusBadRequest, "relinearization key: %v", err)
+		return
+	}
+	rks := new(ckks.RotationKeySet)
+	if err := rks.UnmarshalBinary(req.RotationKeys); err != nil {
+		writeError(w, http.StatusBadRequest, "rotation keys: %v", err)
+		return
+	}
+	// The server prescribes the rotation-step set exactly: every uploaded
+	// key must be one the model uses (a session may not pin arbitrary extra
+	// key material), and every key that could reach the key-switch loop
+	// must be shaped for the model's parameters, or a hostile upload
+	// becomes a panic at inference time instead of a 400 here.
+	required := map[int]bool{}
+	for _, step := range s.info.Rotations {
+		required[step] = true
+	}
+	have := map[int]bool{}
+	for _, step := range rks.Steps() {
+		if !required[step] {
+			writeError(w, http.StatusBadRequest, "rotation key for step %d is not in the model's required set", step)
+			return
+		}
+		key, _ := rks.Key(step)
+		if err := s.checkDigits(key.Digits); err != nil {
+			writeError(w, http.StatusBadRequest, "rotation key for step %d: %v", step, err)
+			return
+		}
+		have[step] = true
+	}
+	if rks.HasConjugation() {
+		writeError(w, http.StatusBadRequest, "the model does not use conjugation; drop the conjugation key")
+		return
+	}
+	for _, step := range s.info.Rotations {
+		if !have[step] {
+			writeError(w, http.StatusBadRequest, "rotation keys missing required step %d", step)
+			return
+		}
+	}
+
+	eval := ckks.NewEvaluator(s.params, rlk).WithRotationKeys(rks)
+	sess := &session{
+		ctx:  henn.NewContext(s.params, s.enc, eval),
+		jobs: make(chan *inferJob, s.opts.QueueDepth),
+		done: make(chan struct{}),
+	}
+	sess.touch()
+	idBytes := make([]byte, 16)
+	if _, err := rand.Read(idBytes); err != nil {
+		writeError(w, http.StatusInternalServerError, "session id: %v", err)
+		return
+	}
+	sess.id = hex.EncodeToString(idBytes)
+
+	s.mu.Lock()
+	select {
+	case <-s.closed:
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	default:
+	}
+	if len(s.sessions) >= s.opts.MaxSessions {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, "session limit (%d) reached", s.opts.MaxSessions)
+		return
+	}
+	s.sessions[sess.id] = sess
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.batcher(sess)
+
+	writeJSON(w, http.StatusOK, registerResponse{SessionID: sess.id})
+}
+
+// checkDigits rejects key material that deserialized cleanly but was built
+// for different parameters than the model prescribes.
+func (s *Server) checkDigits(digits []ckks.EvaluationKeyDigit) error {
+	if got, want := len(digits), s.params.MaxLevel()+1; got != want {
+		return fmt.Errorf("%d gadget digits, parameters need %d", got, want)
+	}
+	for i := range digits {
+		d := &digits[i]
+		if d.BQ.Level() != s.params.MaxLevel() || d.BP.Level() != 0 {
+			return fmt.Errorf("digit %d has %d/%d limbs, want %d/1", i, d.BQ.Level()+1, d.BP.Level()+1, s.params.MaxLevel()+1)
+		}
+		if n := len(d.BQ.Coeffs[0]); n != s.params.N() {
+			return fmt.Errorf("digit %d has ring degree %d, parameters use %d", i, n, s.params.N())
+		}
+	}
+	return nil
+}
+
+func (s *Server) lookup(id string) *session {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sessions[id]
+}
+
+// maxCiphertextBytes is the exact wire size of a ciphertext under the
+// server's parameters (header + two full-chain polys) with slack for the
+// poly headers. The infer endpoint caps bodies here rather than at the
+// key-upload limit, so a hostile client cannot pin a key-sized buffer per
+// request.
+func (s *Server) maxCiphertextBytes() int64 {
+	polyBytes := int64(8) + int64(s.params.MaxLevel()+1)*int64(s.params.N())*8
+	return 64 + 2*polyBytes
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, min(s.maxCiphertextBytes(), s.opts.MaxBodyBytes)))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading ciphertext: %v", err)
+		return
+	}
+	ct := new(ckks.Ciphertext)
+	if err := ct.UnmarshalBinary(data); err != nil {
+		writeError(w, http.StatusBadRequest, "ciphertext: %v", err)
+		return
+	}
+	if n := len(ct.C0.Coeffs[0]); n != s.params.N() {
+		writeError(w, http.StatusBadRequest, "ciphertext ring degree %d, parameters use %d", n, s.params.N())
+		return
+	}
+	if ct.Level > s.params.MaxLevel() {
+		writeError(w, http.StatusBadRequest, "ciphertext level %d exceeds max %d", ct.Level, s.params.MaxLevel())
+		return
+	}
+	if ct.Level < s.info.Levels {
+		writeError(w, http.StatusBadRequest, "ciphertext level %d below the %d the model consumes", ct.Level, s.info.Levels)
+		return
+	}
+
+	sess.touch()
+	job := &inferJob{ct: ct, done: make(chan inferResult, 1)}
+	select {
+	case sess.jobs <- job:
+	case <-sess.done:
+		writeError(w, http.StatusGone, "session closed")
+		return
+	case <-s.closed:
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	default:
+		writeError(w, http.StatusTooManyRequests, "session queue full")
+		return
+	}
+
+	respond := func(res inferResult) {
+		if res.err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "inference: %v", res.err)
+			return
+		}
+		out, err := res.ct.MarshalBinary()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "encoding result: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(out)
+	}
+	// A completed result outranks a concurrently-closing session/server:
+	// the select below picks randomly among ready cases, so each shutdown
+	// branch re-drains job.done before discarding paid-for work.
+	select {
+	case res := <-job.done:
+		respond(res)
+	case <-sess.done:
+		select {
+		case res := <-job.done:
+			respond(res)
+		default:
+			writeError(w, http.StatusGone, "session closed")
+		}
+	case <-s.closed:
+		select {
+		case res := <-job.done:
+			respond(res)
+		default:
+			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		}
+	case <-r.Context().Done():
+		// Client gone; the batcher's send still lands in the buffered done
+		// channel and is dropped with the job.
+	}
+}
+
+// batcher is the per-session dispatch loop: it blocks for one request, then
+// absorbs whatever else is queued (bounded by MaxBatch, optionally lingering
+// BatchWindow) and runs the whole batch through InferBatch on the shared
+// evaluator. Requests that arrive while a batch is in flight queue up and
+// form the next batch, so batching kicks in exactly when inference is the
+// bottleneck.
+func (s *Server) batcher(sess *session) {
+	defer s.wg.Done()
+	for {
+		var first *inferJob
+		select {
+		case first = <-sess.jobs:
+		case <-sess.done:
+			s.failQueued(sess)
+			return
+		case <-s.closed:
+			s.failQueued(sess)
+			return
+		}
+		batch := append(make([]*inferJob, 0, s.opts.MaxBatch), first)
+		batch = s.fill(sess, batch)
+
+		cts := make([]*ckks.Ciphertext, len(batch))
+		for i, job := range batch {
+			cts[i] = job.ct
+		}
+		// Per-item failure isolation: one bad request must not fail (or
+		// discard the completed work of) its batch-mates.
+		outs, errs := sess.ctx.InferBatchEach(s.model.MLP, cts, s.opts.Workers)
+		for i, job := range batch {
+			job.done <- inferResult{ct: outs[i], err: errs[i]}
+		}
+	}
+}
+
+// fill absorbs queued jobs into the batch, lingering up to BatchWindow when
+// configured.
+func (s *Server) fill(sess *session, batch []*inferJob) []*inferJob {
+	if s.opts.BatchWindow <= 0 {
+		for len(batch) < s.opts.MaxBatch {
+			select {
+			case job := <-sess.jobs:
+				batch = append(batch, job)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(s.opts.BatchWindow)
+	defer timer.Stop()
+	for len(batch) < s.opts.MaxBatch {
+		select {
+		case job := <-sess.jobs:
+			batch = append(batch, job)
+		case <-timer.C:
+			return batch
+		case <-s.closed:
+			return batch
+		}
+	}
+	return batch
+}
+
+func (s *Server) failQueued(sess *session) {
+	for {
+		select {
+		case job := <-sess.jobs:
+			job.done <- inferResult{err: fmt.Errorf("server: shutting down")}
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/efficientfhe/smartpaf/internal/ckks"
+)
+
+// testLogN keeps the ring small (insecure but structurally identical) so the
+// register -> infer round trip stays fast under the race detector.
+const testLogN = 8
+
+func newTestServer(t testing.TB) (*Server, *httptest.Server) {
+	t.Helper()
+	model, err := DemoModel(11, testLogN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(model, Options{MaxBatch: 8, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// TestRegisterInferDecrypt is the end-to-end protocol test: the client
+// generates keys under the prescribed parameters, registers over HTTP,
+// ships an encrypted input and decrypts a prediction that matches the
+// plaintext reference inference.
+func TestRegisterInferDecrypt(t *testing.T) {
+	srv, ts := newTestServer(t)
+	ctx := context.Background()
+
+	sess, err := NewClient(ts.URL, nil).NewSession(ctx, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 3; trial++ {
+		x := make([]float64, srv.model.InputDim)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		got, err := sess.Infer(ctx, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := srv.model.MLP.InferPlain(x)[:srv.model.OutputDim]
+		if len(got) != len(want) {
+			t.Fatalf("got %d logits, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if d := got[i] - want[i]; d > 1e-3 || d < -1e-3 {
+				t.Fatalf("trial %d logit %d: encrypted %g vs plain %g", trial, i, got[i], want[i])
+			}
+		}
+		if argmax(got) != argmax(want) {
+			t.Fatalf("trial %d: encrypted argmax %d != plain argmax %d", trial, argmax(got), argmax(want))
+		}
+	}
+}
+
+// TestConcurrentClientsBatch hammers one session from many goroutines —
+// the batcher must coalesce requests and every client must get its own
+// correct result back (results are order-sensitive: each input is distinct).
+func TestConcurrentClientsBatch(t *testing.T) {
+	srv, ts := newTestServer(t)
+	ctx := context.Background()
+
+	sess, err := NewClient(ts.URL, nil).NewSession(ctx, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			x := make([]float64, srv.model.InputDim)
+			for i := range x {
+				x[i] = rng.Float64()*2 - 1
+			}
+			got, err := sess.Infer(ctx, x)
+			if err != nil {
+				errs <- err
+				return
+			}
+			want := srv.model.MLP.InferPlain(x)[:srv.model.OutputDim]
+			for i := range want {
+				if d := got[i] - want[i]; d > 1e-3 || d < -1e-3 {
+					t.Errorf("client %d logit %d: encrypted %g vs plain %g", c, i, got[i], want[i])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestRegisterRejectsBadMaterial covers the wire-hardening paths: wrong
+// parameters, truncated keys and missing rotation steps must all 400.
+func TestRegisterRejectsBadMaterial(t *testing.T) {
+	_, ts := newTestServer(t)
+	post := func(req registerRequest) *http.Response {
+		payload, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := post(registerRequest{Params: []byte{1, 2, 3}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched params: got %s, want 400", resp.Status)
+	}
+
+	info, err := NewClient(ts.URL, nil).Model(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := post(registerRequest{Params: info.Params, PublicKey: []byte{9}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated public key: got %s, want 400", resp.Status)
+	}
+
+	// Keys that deserialize cleanly but were built for smaller parameters
+	// must be rejected at registration, not panic the key-switch loop at
+	// inference time. Build a full key set under a shallower chain.
+	var lit ckks.ParametersLiteral
+	if err := lit.UnmarshalBinary(info.Params); err != nil {
+		t.Fatal(err)
+	}
+	lit.LogQ = lit.LogQ[:3]
+	small, err := ckks.NewParameters(lit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(small, 3)
+	sk := kg.GenSecretKey()
+	pkBytes, err := kg.GenPublicKey(sk).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlkBytes, err := kg.GenRelinearizationKey(sk).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rksBytes, err := kg.GenRotationKeys(sk, info.Rotations, false).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := registerRequest{Params: info.Params, PublicKey: pkBytes, RelinKey: rlkBytes, RotationKeys: rksBytes}
+	if resp := post(wrong); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-parameter key set: got %s, want 400", resp.Status)
+	}
+}
+
+// TestRegisterRejectsExtraRotationKeys: the server prescribes the step set
+// exactly; sessions may not pin key material the model never uses.
+func TestRegisterRejectsExtraRotationKeys(t *testing.T) {
+	srv, ts := newTestServer(t)
+	info := srv.Info()
+	var lit ckks.ParametersLiteral
+	if err := lit.UnmarshalBinary(info.Params); err != nil {
+		t.Fatal(err)
+	}
+	params, err := ckks.NewParameters(lit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(params, 4)
+	sk := kg.GenSecretKey()
+	pkBytes, err := kg.GenPublicKey(sk).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlkBytes, err := kg.GenRelinearizationKey(sk).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := append(append([]int{}, info.Rotations...), 31) // 31 is not required by the 16x8x4 demo model
+	rksBytes, err := kg.GenRotationKeys(sk, extra, false).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := json.Marshal(registerRequest{Params: info.Params, PublicKey: pkBytes, RelinKey: rlkBytes, RotationKeys: rksBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("extra rotation step: got %s, want 400", resp.Status)
+	}
+}
+
+// TestSessionDelete covers the lifecycle endpoint: a closed session 404s
+// further inference and can be re-registered.
+func TestSessionDelete(t *testing.T) {
+	srv, ts := newTestServer(t)
+	ctx := context.Background()
+	sess, err := NewClient(ts.URL, nil).NewSession(ctx, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(ctx); err == nil {
+		t.Fatal("double delete should fail")
+	}
+	x := make([]float64, srv.model.InputDim)
+	if _, err := sess.Infer(ctx, x); err == nil {
+		t.Fatal("inference on a deleted session should fail")
+	}
+	if _, err := NewClient(ts.URL, nil).NewSession(ctx, 56); err != nil {
+		t.Fatalf("re-registering after delete: %v", err)
+	}
+}
+
+// TestInferUnknownSessionAndHostileCiphertext covers the infer-path guards.
+func TestInferUnknownSessionAndHostileCiphertext(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/sessions/nope/infer", "application/octet-stream", bytes.NewReader([]byte{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session: got %s, want 404", resp.Status)
+	}
+
+	sess, err := NewClient(ts.URL, nil).NewSession(context.Background(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/sessions/"+sess.ID()+"/infer", "application/octet-stream", bytes.NewReader([]byte{1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("hostile ciphertext: got %s, want 400", resp.Status)
+	}
+}
