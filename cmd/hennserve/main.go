@@ -7,7 +7,7 @@
 //
 //	hennserve                   # serve the synthetic demo model on :8555
 //	hennserve -train            # train a SMART-PAF MLP first, then serve it
-//	hennserve -addr :9000 -logn 12 -batch 32 -workers -1
+//	hennserve -addr :9000 -logn 12 -batch 32 -workers -1 -policy fair
 //
 // See README.md for the protocol and a client walkthrough.
 package main
@@ -33,9 +33,12 @@ func main() {
 		logN    = flag.Int("logn", 11, "ring degree log2 (demo sizes; production wants >= 14)")
 		seed    = flag.Int64("seed", 7, "model seed")
 		train   = flag.Bool("train", false, "train a SMART-PAF MLP instead of serving the synthetic demo model")
-		batch   = flag.Int("batch", 16, "max requests coalesced into one inference batch")
-		workers = flag.Int("workers", -1, "batch workers (0/1 serial, <0 all cores)")
-		window  = flag.Duration("window", 0, "batch linger window (0 coalesces only queued requests)")
+		batch   = flag.Int("batch", 16, "fair-scheduling quantum: jobs claimed per session turn")
+		workers = flag.Int("workers", -1, "server-wide inference worker budget shared by all sessions (0/1 one worker, <0 all cores)")
+		window  = flag.Duration("window", 0, "how long a newly active session waits for its quantum to fill (0 dispatches immediately; fair policy only)")
+		policy  = flag.String("policy", server.PolicyFair, "cross-session scheduling policy: fair (round-robin quanta) or fifo (arrival order)")
+		ttl     = flag.Duration("ttl", 0, "idle-session eviction TTL (0 keeps the 30m default, <0 disables eviction)")
+		queue   = flag.Int("queue", 0, "per-session request queue depth (0 keeps the 1024 default)")
 	)
 	flag.Parse()
 
@@ -47,6 +50,9 @@ func main() {
 		MaxBatch:    *batch,
 		Workers:     *workers,
 		BatchWindow: *window,
+		Policy:      *policy,
+		SessionTTL:  *ttl,
+		QueueDepth:  *queue,
 	})
 	if err != nil {
 		fail(err)
@@ -54,6 +60,8 @@ func main() {
 	info := srv.Info()
 	fmt.Printf("hennserve: model %q (%d -> %d, %d levels), N=%d, %d rotation keys per session\n",
 		info.Name, info.InputDim, info.OutputDim, info.Levels, 1<<*logN, len(info.Rotations))
+	fmt.Printf("hennserve: %q scheduling over a %d-worker shared budget\n",
+		*policy, srv.Stats().Workers)
 	fmt.Printf("hennserve: listening on %s\n", *addr)
 	httpSrv := &http.Server{
 		Addr:    *addr,

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/efficientfhe/smartpaf/internal/server"
+)
+
+func init() {
+	register("mserve", MultiServeLoad)
+}
+
+// MultiServeLoad measures cross-session fairness under uneven load: K=4
+// registered sessions share one hennserve instance, session 0 floods a
+// burst of concurrent requests while sessions 1-3 send paced single
+// requests, and the table reports per-session p50/p99 latency under the
+// fair scheduler versus the FIFO baseline (strict arrival order — the
+// contention behaviour of uncoordinated per-session batchers). The summary
+// lines verify the tentpole property: total server parallelism stays within
+// the one configured worker budget no matter how many sessions push.
+func MultiServeLoad(opt Options) error {
+	logN, floodN, victimN := 9, 12, 4
+	if !opt.Fast {
+		logN, floodN, victimN = 11, 24, 8
+	}
+	// Unset knob: a deliberately small budget (2), so the flood saturates it
+	// and the scheduling policy — not spare capacity — decides who waits.
+	// An explicit -parallel pins a different budget.
+	workers := opt.Parallel
+	if workers == 0 {
+		workers = 2
+	}
+
+	t := newTable(fmt.Sprintf("Cross-session fairness, 4 sessions, shared budget (N=%d)", 1<<logN),
+		"policy", "session", "role", "reqs", "p50", "p99")
+	type victimP99 struct{ fair, fifo time.Duration }
+	var vp victimP99
+	for _, policy := range []string{server.PolicyFair, server.PolicyFIFO} {
+		lats, st, err := runMultiSession(opt, logN, workers, policy, floodN, victimN)
+		if err != nil {
+			return err
+		}
+		var victimWorst time.Duration
+		for si, sl := range lats {
+			role := "victim"
+			if si == 0 {
+				role = "flood"
+			} else if p := percentile(sl, 0.99); p > victimWorst {
+				victimWorst = p
+			}
+			t.addRowf("%s|%d|%s|%d|%s|%s", policy, si, role, len(sl),
+				percentile(sl, 0.50).Round(time.Millisecond),
+				percentile(sl, 0.99).Round(time.Millisecond))
+		}
+		if policy == server.PolicyFair {
+			vp.fair = victimWorst
+		} else {
+			vp.fifo = victimWorst
+		}
+		fmt.Fprintf(opt.W, "%s: peak in-flight %d within budget %d; %d units over %d scheduler turns\n",
+			policy, st.PeakInFlight, st.Workers, st.UnitsRun, st.Quanta)
+		if st.PeakInFlight > st.Workers {
+			return fmt.Errorf("mserve: peak parallelism %d exceeded the %d-worker budget", st.PeakInFlight, st.Workers)
+		}
+	}
+	t.write(opt.W)
+	if vp.fair > 0 {
+		fmt.Fprintf(opt.W, "\nworst victim p99: fair %s vs fifo %s (%.1fx) — the flood cannot\n",
+			vp.fair.Round(time.Millisecond), vp.fifo.Round(time.Millisecond),
+			float64(vp.fifo)/float64(vp.fair))
+		fmt.Fprintln(opt.W, "degrade a quiet session's tail latency under round-robin quanta.")
+	}
+	return nil
+}
+
+// runMultiSession drives one policy's load run and returns per-session
+// latencies plus the server's scheduler stats.
+func runMultiSession(opt Options, logN, workers int, policy string, floodN, victimN int) ([][]time.Duration, server.Stats, error) {
+	var zero server.Stats
+	model, err := server.DemoModel(opt.Seed, logN)
+	if err != nil {
+		return nil, zero, err
+	}
+	srv, err := server.New(model, server.Options{MaxBatch: 4, Workers: workers, Policy: policy})
+	if err != nil {
+		return nil, zero, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, zero, err
+	}
+	defer ln.Close()
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+
+	ctx := context.Background()
+	client := server.NewClient("http://"+ln.Addr().String(), nil)
+	const sessions = 4
+	sess := make([]*server.Session, sessions)
+	var reg sync.WaitGroup
+	regErr := make([]error, sessions)
+	for si := 0; si < sessions; si++ {
+		reg.Add(1)
+		go func(si int) {
+			defer reg.Done()
+			sess[si], regErr[si] = client.NewSession(ctx, opt.Seed^int64(0xa11ce+si))
+		}(si)
+	}
+	reg.Wait()
+	for _, err := range regErr {
+		if err != nil {
+			return nil, zero, err
+		}
+	}
+
+	x := make([]float64, model.InputDim)
+	for i := range x {
+		x[i] = float64(i%7)/7.0 - 0.5
+	}
+	if _, err := sess[0].Infer(ctx, x); err != nil { // warm caches before timing
+		return nil, zero, err
+	}
+
+	lats := make([][]time.Duration, sessions)
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		runErr error
+	)
+	record := func(si int, d time.Duration, err error) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if runErr == nil {
+				runErr = err
+			}
+			return false
+		}
+		lats[si] = append(lats[si], d)
+		return true
+	}
+	// Session 0 floods a fully concurrent burst, building a deep backlog at
+	// t=0; each victim fires its first request into that standing backlog
+	// (after a short delay that lets the burst queue), then paces the rest.
+	// Under FIFO the victims' first requests wait out the whole flood;
+	// under the fair policy they wait at most a quantum per busy session.
+	for g := 0; g < floodN; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			_, err := sess[0].Infer(ctx, x)
+			record(0, time.Since(start), err)
+		}()
+	}
+	for si := 1; si < sessions; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			time.Sleep(50 * time.Millisecond)
+			for r := 0; r < victimN; r++ {
+				start := time.Now()
+				_, err := sess[si].Infer(ctx, x)
+				if !record(si, time.Since(start), err) {
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(si)
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, zero, runErr
+	}
+	return lats, srv.Stats(), nil
+}
+
+// percentile returns the p-quantile (0 < p ≤ 1) of the samples.
+func percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -18,11 +18,12 @@ func init() {
 
 // ServeLoad measures the hennserve front end under concurrent encrypted
 // traffic: one registered session, increasing numbers of concurrent clients
-// firing over real loopback HTTP, with the server coalescing queued requests
-// into InferBatch calls on its shared evaluator. The serial row (1 client,
-// sequential requests) is the baseline; the speedup column is batched
-// throughput over that baseline. Item-level batching only pays on multi-core
-// hardware — on one core the table documents the overhead instead.
+// firing over real loopback HTTP, with the scheduler fanning queued jobs
+// across the shared worker pool. The serial row (1 client, sequential
+// requests) is the baseline; the speedup column is parallel throughput over
+// that baseline. Fan-out only pays on multi-core hardware — on one core the
+// table documents the overhead instead. See mserve for the multi-session
+// fairness picture.
 func ServeLoad(opt Options) error {
 	logN, perClient := 9, 3
 	if !opt.Fast {

@@ -29,16 +29,18 @@ func (ctx *Context) InferBatch(mlp *MLP, cts []*ckks.Ciphertext, workers int) ([
 	return out, nil
 }
 
-// InferBatchEach is InferBatch with per-item failure isolation: every input
-// gets its own result or error, and one bad input cannot discard its
-// batch-mates' work. Serving batchers use this; InferBatch's all-or-nothing
-// contract suits experiment harnesses.
-func (ctx *Context) InferBatchEach(mlp *MLP, cts []*ckks.Ciphertext, workers int) ([]*ckks.Ciphertext, []error) {
-	out := make([]*ckks.Ciphertext, len(cts))
-	errs := make([]error, len(cts))
-	_ = parallel.For(len(cts), parallel.Workers(workers), func(i int) error {
-		out[i], errs[i] = ctx.Infer(mlp, cts[i])
-		return nil
-	})
-	return out, errs
+// Unit is one independent encrypted inference: a ciphertext bound to the
+// Context holding the keys that can evaluate it. Schedulers dispatch Units
+// from many sessions onto one shared worker budget — the Context travels
+// with the item, so a single pool serves any number of key sets, and each
+// unit fails on its own (one bad input cannot discard its batch-mates'
+// work; InferBatch's all-or-nothing contract suits experiment harnesses
+// instead).
+type Unit struct {
+	Ctx *Context
+	MLP *MLP
+	CT  *ckks.Ciphertext
 }
+
+// Run executes the unit.
+func (u Unit) Run() (*ckks.Ciphertext, error) { return u.Ctx.Infer(u.MLP, u.CT) }

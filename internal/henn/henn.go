@@ -164,6 +164,13 @@ func FromModel(m *nn.Model) (*MLP, error) {
 		}
 		w, b := p, params[i+1]
 		i++
+		if len(b.Data) == 0 {
+			return nil, fmt.Errorf("henn: linear parameter %q has an empty bias", w.Name)
+		}
+		if len(w.Data)%len(b.Data) != 0 {
+			return nil, fmt.Errorf("henn: linear parameter %q has %d weights, not divisible by %d bias entries",
+				w.Name, len(w.Data), len(b.Data))
+		}
 		in := len(w.Data) / len(b.Data)
 		outDim := len(b.Data)
 		lin := &Linear{In: in, Out: outDim, B: append([]float64(nil), b.Data...)}

@@ -3,6 +3,7 @@ package henn
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"github.com/efficientfhe/smartpaf/internal/ckks"
@@ -197,5 +198,39 @@ func TestFromModelRejectsCNN(t *testing.T) {
 	}
 	if _, err := FromModel(m); err == nil {
 		t.Fatal("expected rejection of CNN (maxpool slots)")
+	}
+}
+
+// TestFromModelRejectsEmptyBias: a zero-length bias parameter must come
+// back as an error, not a divide-by-zero panic in the weight-shape
+// inference (regression: FromModel computed len(w)/len(b) unguarded).
+func TestFromModelRejectsEmptyBias(t *testing.T) {
+	dcfg := data.Tiny()
+	dcfg.Size = 4 // 16 inputs
+	dcfg.Train, dcfg.Val = 32, 8
+	train, _ := data.Generate(dcfg)
+	m := nn.MLP([]int{16, 8, dcfg.Classes}, 1)
+	for _, s := range m.Slots() {
+		s.ReplaceWithPAF(paf.MustNew(paf.FormF1G2))
+	}
+	// One training-mode forward pass gives the PAF layers the running
+	// maxima Deploy freezes into static scales.
+	m.Forward(train.Batches(8, nil)[0].X, true)
+	if err := m.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	m.SetScaleMode(nn.ScaleStatic)
+	if _, err := FromModel(m); err != nil {
+		t.Fatalf("intact model must convert: %v", err)
+	}
+
+	for _, p := range m.Params() {
+		if p.Group == nn.GroupLinear && strings.HasSuffix(p.Name, ".b") {
+			p.Data = nil
+			break
+		}
+	}
+	if _, err := FromModel(m); err == nil {
+		t.Fatal("expected an error for an empty bias parameter")
 	}
 }

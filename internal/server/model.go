@@ -23,8 +23,12 @@
 //
 //	POST /v1/sessions/{id}/infer
 //	    raw marshaled ciphertext -> raw marshaled ciphertext
-//	    Concurrent requests within a session are coalesced into batches
-//	    that flow through henn.Context.InferBatch on the shared evaluator.
+//	    All sessions' requests flow through one cross-session scheduler:
+//	    round-robin quanta over per-session queues feeding a shared
+//	    bounded worker pool, so a flooding session cannot starve the
+//	    others and total parallelism is one server-wide budget. The input
+//	    ciphertext must arrive at level >= the model's advertised levels
+//	    (one inference consumes exactly that many).
 //
 // Errors are JSON {"error": "..."} with a 4xx/5xx status.
 package server

@@ -1,0 +1,336 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/efficientfhe/smartpaf/internal/henn"
+	"github.com/efficientfhe/smartpaf/internal/parallel"
+)
+
+// Scheduling policies for Options.Policy.
+const (
+	// PolicyFair serves sessions round-robin: the dispatcher claims up to
+	// MaxBatch jobs per session turn, so one chatty session cannot starve
+	// the others. This is the default.
+	PolicyFair = "fair"
+	// PolicyFIFO dispatches jobs in strict arrival order with no fairness —
+	// the contention baseline the mserve experiment measures against: a
+	// flooding session's backlog runs ahead of everyone else's requests.
+	PolicyFIFO = "fifo"
+)
+
+// Sentinel job-failure causes, mapped to HTTP statuses by handleInfer.
+var (
+	errSessionClosed = errors.New("session closed")
+	errShuttingDown  = errors.New("server shutting down")
+)
+
+// scheduler replaces the per-session batcher goroutines of the first
+// serving cut. Sessions enqueue jobs into their own bounded queues; one
+// dispatcher goroutine claims work across sessions (round-robin quanta
+// under PolicyFair, arrival order under PolicyFIFO) and hands every job to
+// a shared bounded worker pool as a henn.Unit. The unit carries its
+// session's Context, so one pool serves any number of key sets and total
+// server parallelism is bounded by a single budget — Options.Workers —
+// instead of sessions × workers.
+type scheduler struct {
+	srv  *Server
+	pool *parallel.Pool
+	wake chan struct{}
+
+	mu   sync.Mutex
+	ring []*session // PolicyFair: sessions with queued jobs, round-robin order
+	fifo []*session // PolicyFIFO: one entry per enqueued job, arrival order
+
+	unitsRun     atomic.Int64
+	unitsAborted atomic.Int64
+	quanta       atomic.Int64
+}
+
+func newScheduler(srv *Server) *scheduler {
+	return &scheduler{
+		srv: srv,
+		// A zero-depth submission buffer makes every dispatch rendezvous
+		// with a free worker: claimed jobs never pile up ahead of the
+		// budget, and fairness decisions happen as late as possible.
+		pool: parallel.NewPool(srv.opts.Workers, 0),
+		wake: make(chan struct{}, 1),
+	}
+}
+
+// notify tells the scheduler sess has one more queued job. Handlers call it
+// after every successful enqueue.
+func (d *scheduler) notify(sess *session) {
+	d.mu.Lock()
+	if d.srv.opts.Policy == PolicyFIFO {
+		d.fifo = append(d.fifo, sess)
+	} else if !sess.inRing && !sess.dispatching {
+		sess.inRing = true
+		sess.windowAt = time.Time{}
+		if d.srv.opts.BatchWindow > 0 {
+			sess.windowAt = time.Now().Add(d.srv.opts.BatchWindow)
+		}
+		d.ring = append(d.ring, sess)
+	}
+	d.mu.Unlock()
+	d.kick()
+}
+
+// sessionClosed makes a deleted or evicted session immediately dispatchable
+// so its queued jobs fail now — not after BatchWindow, and never by running
+// paid inference for a dead session.
+func (d *scheduler) sessionClosed(sess *session) {
+	d.mu.Lock()
+	sess.windowAt = time.Time{}
+	if d.srv.opts.Policy != PolicyFIFO && !sess.inRing && !sess.dispatching && len(sess.jobs) > 0 {
+		sess.inRing = true
+		d.ring = append(d.ring, sess)
+	}
+	d.mu.Unlock()
+	d.kick()
+}
+
+func (d *scheduler) kick() {
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the dispatcher loop. It exits when the server closes, after
+// failing every still-queued job.
+func (d *scheduler) run() {
+	defer d.srv.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		sess, wait := d.next()
+		if sess != nil {
+			d.dispatch(sess)
+			continue
+		}
+		if wait > 0 {
+			resetTimer(timer, wait)
+			select {
+			case <-timer.C:
+			case <-d.wake:
+			case <-d.srv.closed:
+				d.shutdown()
+				return
+			}
+			continue
+		}
+		select {
+		case <-d.wake:
+		case <-d.srv.closed:
+			d.shutdown()
+			return
+		}
+	}
+}
+
+func resetTimer(t *time.Timer, wait time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(wait)
+}
+
+// next picks the session to serve. A nil session with wait > 0 means the
+// earliest BatchWindow deadline is that far away; nil with wait 0 means
+// idle.
+func (d *scheduler) next() (*session, time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.srv.opts.Policy == PolicyFIFO {
+		if len(d.fifo) == 0 {
+			return nil, 0
+		}
+		sess := d.fifo[0]
+		d.fifo = d.fifo[1:]
+		return sess, 0
+	}
+	if len(d.ring) == 0 {
+		return nil, 0
+	}
+	now := time.Now()
+	var minWait time.Duration
+	for i, sess := range d.ring {
+		if eligible(sess, now, d.srv.opts.MaxBatch) {
+			d.ring = append(d.ring[:i], d.ring[i+1:]...)
+			sess.inRing = false
+			sess.dispatching = true
+			return sess, 0
+		}
+		if w := sess.windowAt.Sub(now); minWait == 0 || w < minWait {
+			minWait = w
+		}
+	}
+	return nil, max(minWait, time.Millisecond)
+}
+
+// eligible reports whether the session's turn can start: its batch window
+// elapsed, a full quantum is already queued, or the session died (its jobs
+// must fail now).
+func eligible(sess *session, now time.Time, maxBatch int) bool {
+	if sess.windowAt.IsZero() || !now.Before(sess.windowAt) || len(sess.jobs) >= maxBatch {
+		return true
+	}
+	select {
+	case <-sess.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// dispatch serves one scheduler turn for sess: claim jobs, then hand each
+// to the shared pool as a henn.Unit (or fail them all if the session died).
+func (d *scheduler) dispatch(sess *session) {
+	quantum := d.srv.opts.MaxBatch
+	if d.srv.opts.Policy == PolicyFIFO {
+		quantum = 1 // one fifo entry exists per enqueued job
+	}
+	var batch []*inferJob
+claim:
+	for len(batch) < quantum {
+		select {
+		case job := <-sess.jobs:
+			batch = append(batch, job)
+		default:
+			break claim
+		}
+	}
+	select {
+	case <-sess.done:
+		d.abort(batch, errSessionClosed)
+		d.failQueued(sess, errSessionClosed)
+		d.finish(sess)
+		return
+	default:
+	}
+	if len(batch) > 0 {
+		d.quanta.Add(1)
+	}
+	for i, job := range batch {
+		// Submit can block a long time waiting for a free worker
+		// (zero-depth rendezvous), so the session may die mid-batch;
+		// re-checking here keeps a deleted session's remaining claimed
+		// jobs from running as paid inference.
+		select {
+		case <-sess.done:
+			d.abort(batch[i:], errSessionClosed)
+			d.failQueued(sess, errSessionClosed)
+			d.finish(sess)
+			return
+		default:
+		}
+		job := job
+		ok := d.pool.Submit(func() {
+			d.unitsRun.Add(1)
+			out, err := henn.Unit{Ctx: sess.ctx, MLP: d.srv.model.MLP, CT: job.ct}.Run()
+			job.done <- inferResult{ct: out, err: err}
+		})
+		if !ok {
+			d.abort([]*inferJob{job}, errShuttingDown)
+		}
+	}
+	d.finish(sess)
+}
+
+// finish ends a fair-mode turn: the session goes back to the ring tail if
+// jobs arrived while it was being served (already past their window wait).
+func (d *scheduler) finish(sess *session) {
+	if d.srv.opts.Policy == PolicyFIFO {
+		return
+	}
+	d.mu.Lock()
+	sess.dispatching = false
+	if len(sess.jobs) > 0 && !sess.inRing {
+		sess.inRing = true
+		sess.windowAt = time.Time{}
+		d.ring = append(d.ring, sess)
+	}
+	d.mu.Unlock()
+}
+
+// abort fails claimed jobs without running them.
+func (d *scheduler) abort(batch []*inferJob, cause error) {
+	for _, job := range batch {
+		job.done <- inferResult{err: cause}
+		d.unitsAborted.Add(1)
+	}
+}
+
+// failQueued drains and fails everything still queued on sess.
+func (d *scheduler) failQueued(sess *session, cause error) {
+	for {
+		select {
+		case job := <-sess.jobs:
+			d.abort([]*inferJob{job}, cause)
+		default:
+			return
+		}
+	}
+}
+
+// shutdown fails every queued job across all sessions; in-flight units
+// finish in the pool (Server.Close drains it after the dispatcher exits).
+func (d *scheduler) shutdown() {
+	d.mu.Lock()
+	d.ring = nil
+	d.fifo = nil
+	d.mu.Unlock()
+	d.srv.mu.RLock()
+	sessions := make([]*session, 0, len(d.srv.sessions))
+	for _, sess := range d.srv.sessions {
+		sessions = append(sessions, sess)
+	}
+	d.srv.mu.RUnlock()
+	for _, sess := range sessions {
+		d.failQueued(sess, errShuttingDown)
+	}
+}
+
+// Stats is a point-in-time snapshot of scheduler counters.
+type Stats struct {
+	// Workers is the resolved server-wide worker budget.
+	Workers int
+	// Backlog is how many jobs are queued but not yet dispatched.
+	Backlog int
+	// UnitsRun counts inference units the pool started executing.
+	UnitsRun int64
+	// UnitsAborted counts jobs failed without running (session deleted or
+	// server shutting down).
+	UnitsAborted int64
+	// Quanta counts scheduler turns that claimed at least one job.
+	Quanta int64
+	// PeakInFlight is the high-water mark of concurrently executing units;
+	// it never exceeds Workers.
+	PeakInFlight int
+}
+
+// Stats reports scheduler counters (the mserve experiment and the
+// regression suite read these).
+func (s *Server) Stats() Stats {
+	backlog := 0
+	s.mu.RLock()
+	for _, sess := range s.sessions {
+		backlog += len(sess.jobs)
+	}
+	s.mu.RUnlock()
+	return Stats{
+		Workers:      s.sched.pool.Workers(),
+		Backlog:      backlog,
+		UnitsRun:     s.sched.unitsRun.Load(),
+		UnitsAborted: s.sched.unitsAborted.Load(),
+		Quanta:       s.sched.quanta.Load(),
+		PeakInFlight: s.sched.pool.Peak(),
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -17,24 +18,33 @@ import (
 
 // Options tune the serving front end. The zero value is usable.
 type Options struct {
-	// MaxBatch caps how many queued requests one InferBatch call absorbs.
-	// Default 16.
+	// MaxBatch is the fair-scheduling quantum: how many queued jobs one
+	// scheduler turn claims from a session before the next session is
+	// served. Default 16.
 	MaxBatch int
-	// Workers is the InferBatch worker knob, following the repo-wide
-	// convention: 0 or 1 runs the batch serially, negative uses all cores.
-	// Serving deployments want -1 (cmd/hennserve defaults to it).
+	// Workers is the server-wide inference worker budget shared by every
+	// session, following the repo-wide convention: 0 or 1 runs one worker,
+	// negative uses all cores. The number of concurrently executing
+	// inference units is bounded by this one budget no matter how many
+	// sessions are active (serving deployments want -1; cmd/hennserve
+	// defaults to it). Within a unit, the ring substrate's limb fan-out
+	// still follows the process-wide GOMAXPROCS/ring.SetParallelism
+	// setting — Workers counts units, not goroutines.
 	Workers int
-	// BatchWindow is how long the batcher lingers after the first request
-	// arrives to let a batch fill. 0 coalesces only what is already queued
-	// (the batcher still forms batches whenever inference is the
-	// bottleneck, with no added latency when it is not). Default 0.
+	// BatchWindow is how long a newly active session waits before its first
+	// scheduler turn, letting a quantum fill (a full quantum, session
+	// deletion, or shutdown cuts the wait short). 0 dispatches immediately.
+	// Only the fair policy windows; PolicyFIFO dispatches in arrival order
+	// regardless. Default 0.
 	BatchWindow time.Duration
+	// Policy picks the cross-session scheduling policy: PolicyFair
+	// (default) or PolicyFIFO (the no-fairness baseline).
+	Policy string
 	// MaxSessions caps live sessions. Default 64.
 	MaxSessions int
 	// SessionTTL evicts sessions idle for longer than this, so abandoned
-	// registrations cannot pin key material and batcher goroutines (or
-	// lock out new sessions) forever. Negative disables eviction.
-	// Default 30 minutes.
+	// registrations cannot pin key material (or lock out new sessions)
+	// forever. Negative disables eviction. Default 30 minutes.
 	SessionTTL time.Duration
 	// MaxBodyBytes caps request bodies (rotation-key sets dominate).
 	// Default 1 GiB.
@@ -46,6 +56,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 16
+	}
+	if o.Policy == "" {
+		o.Policy = PolicyFair
 	}
 	if o.MaxSessions <= 0 {
 		o.MaxSessions = 64
@@ -65,7 +78,8 @@ func (o Options) withDefaults() Options {
 // Server multiplexes encrypted-inference sessions onto one shared model.
 // The henn/ckks stack is safe for concurrent use, so every session shares
 // the server's compiled parameters and encoder; each session owns only the
-// evaluator bound to its client's evaluation keys.
+// evaluator bound to its client's evaluation keys. All sessions' jobs flow
+// through one scheduler and one bounded worker pool (see scheduler.go).
 type Server struct {
 	model      *Model
 	params     *ckks.Parameters
@@ -73,6 +87,7 @@ type Server struct {
 	info       ModelInfo
 	paramBytes []byte // canonical literal encoding sessions must match
 	opts       Options
+	sched      *scheduler
 
 	mu       sync.RWMutex
 	sessions map[string]*session
@@ -85,12 +100,17 @@ type session struct {
 	// ctx carries the evaluator bound to this client's evaluation keys.
 	ctx  *henn.Context
 	jobs chan *inferJob
-	// done is closed when the session is deleted or evicted; the batcher
-	// exits and waiting handlers turn it into a 410.
+	// done is closed when the session is deleted or evicted; the scheduler
+	// fails its queued jobs and waiting handlers turn it into a 410.
 	done chan struct{}
 	// lastUsed is the unix-nano timestamp of the latest request, read by
 	// the TTL janitor.
 	lastUsed atomic.Int64
+
+	// Scheduler turn state, guarded by the scheduler's mutex.
+	inRing      bool
+	dispatching bool
+	windowAt    time.Time
 }
 
 func (sess *session) touch() { sess.lastUsed.Store(time.Now().UnixNano()) }
@@ -111,19 +131,27 @@ func New(model *Model, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: compiling model parameters: %w", err)
 	}
-	if need := model.MLP.LevelsRequired() + 1; params.MaxLevel() < need {
+	// One inference consumes exactly LevelsRequired levels (input at level
+	// L finishes at L−LevelsRequired ≥ 0), so a chain whose MaxLevel equals
+	// LevelsRequired is the true minimum — demanding more rejects viable
+	// parameter sets.
+	if need := model.MLP.LevelsRequired(); params.MaxLevel() < need {
 		return nil, fmt.Errorf("server: parameters support %d levels, model needs %d", params.MaxLevel(), need)
 	}
 	paramBytes, err := model.Params.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
+	opts = opts.withDefaults()
+	if opts.Policy != PolicyFair && opts.Policy != PolicyFIFO {
+		return nil, fmt.Errorf("server: unknown scheduling policy %q (want %q or %q)", opts.Policy, PolicyFair, PolicyFIFO)
+	}
 	s := &Server{
 		model:      model,
 		params:     params,
 		enc:        ckks.NewEncoder(params),
 		paramBytes: paramBytes,
-		opts:       opts.withDefaults(),
+		opts:       opts,
 		sessions:   map[string]*session{},
 		closed:     make(chan struct{}),
 	}
@@ -136,6 +164,9 @@ func New(model *Model, opts Options) (*Server, error) {
 		Params:    paramBytes,
 		Rotations: model.MLP.RequiredRotations(params.Slots()),
 	}
+	s.sched = newScheduler(s)
+	s.wg.Add(1)
+	go s.sched.run()
 	if s.opts.SessionTTL > 0 {
 		s.wg.Add(1)
 		go s.janitor()
@@ -155,25 +186,33 @@ func (s *Server) janitor() {
 		case <-tick.C:
 		}
 		cutoff := time.Now().Add(-s.opts.SessionTTL).UnixNano()
+		var evicted []*session
 		s.mu.Lock()
 		for id, sess := range s.sessions {
 			if sess.lastUsed.Load() < cutoff {
 				delete(s.sessions, id)
 				close(sess.done)
+				evicted = append(evicted, sess)
 			}
 		}
 		s.mu.Unlock()
+		for _, sess := range evicted {
+			s.sched.sessionClosed(sess)
+		}
 	}
 }
 
 // removeSession deletes a session by id, reporting whether it existed.
 func (s *Server) removeSession(id string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	sess, ok := s.sessions[id]
 	if ok {
 		delete(s.sessions, id)
 		close(sess.done)
+	}
+	s.mu.Unlock()
+	if ok {
+		s.sched.sessionClosed(sess)
 	}
 	return ok
 }
@@ -181,7 +220,8 @@ func (s *Server) removeSession(id string) bool {
 // Info returns the model description served at /v1/model.
 func (s *Server) Info() ModelInfo { return s.info }
 
-// Close stops the per-session batchers and fails queued requests.
+// Close stops the scheduler, fails queued requests and drains the worker
+// pool.
 func (s *Server) Close() {
 	s.mu.Lock()
 	select {
@@ -191,6 +231,7 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.sched.pool.Close()
 }
 
 // Handler returns the HTTP API.
@@ -242,6 +283,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req registerRequest
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "registration exceeds the %d-byte body limit", mbe.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decoding registration: %v", err)
 		return
 	}
@@ -337,9 +383,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.sessions[sess.id] = sess
-	s.wg.Add(1)
 	s.mu.Unlock()
-	go s.batcher(sess)
 
 	writeJSON(w, http.StatusOK, registerResponse{SessionID: sess.id})
 }
@@ -386,6 +430,11 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, min(s.maxCiphertextBytes(), s.opts.MaxBodyBytes)))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "ciphertext exceeds the %d-byte body limit", mbe.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "reading ciphertext: %v", err)
 		return
 	}
@@ -421,9 +470,17 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, "session queue full")
 		return
 	}
+	s.sched.notify(sess)
 
 	respond := func(res inferResult) {
-		if res.err != nil {
+		switch {
+		case errors.Is(res.err, errSessionClosed):
+			writeError(w, http.StatusGone, "session closed")
+			return
+		case errors.Is(res.err, errShuttingDown):
+			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		case res.err != nil:
 			writeError(w, http.StatusUnprocessableEntity, "inference: %v", res.err)
 			return
 		}
@@ -456,82 +513,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		}
 	case <-r.Context().Done():
-		// Client gone; the batcher's send still lands in the buffered done
+		// Client gone; the worker's send still lands in the buffered done
 		// channel and is dropped with the job.
-	}
-}
-
-// batcher is the per-session dispatch loop: it blocks for one request, then
-// absorbs whatever else is queued (bounded by MaxBatch, optionally lingering
-// BatchWindow) and runs the whole batch through InferBatch on the shared
-// evaluator. Requests that arrive while a batch is in flight queue up and
-// form the next batch, so batching kicks in exactly when inference is the
-// bottleneck.
-func (s *Server) batcher(sess *session) {
-	defer s.wg.Done()
-	for {
-		var first *inferJob
-		select {
-		case first = <-sess.jobs:
-		case <-sess.done:
-			s.failQueued(sess)
-			return
-		case <-s.closed:
-			s.failQueued(sess)
-			return
-		}
-		batch := append(make([]*inferJob, 0, s.opts.MaxBatch), first)
-		batch = s.fill(sess, batch)
-
-		cts := make([]*ckks.Ciphertext, len(batch))
-		for i, job := range batch {
-			cts[i] = job.ct
-		}
-		// Per-item failure isolation: one bad request must not fail (or
-		// discard the completed work of) its batch-mates.
-		outs, errs := sess.ctx.InferBatchEach(s.model.MLP, cts, s.opts.Workers)
-		for i, job := range batch {
-			job.done <- inferResult{ct: outs[i], err: errs[i]}
-		}
-	}
-}
-
-// fill absorbs queued jobs into the batch, lingering up to BatchWindow when
-// configured.
-func (s *Server) fill(sess *session, batch []*inferJob) []*inferJob {
-	if s.opts.BatchWindow <= 0 {
-		for len(batch) < s.opts.MaxBatch {
-			select {
-			case job := <-sess.jobs:
-				batch = append(batch, job)
-			default:
-				return batch
-			}
-		}
-		return batch
-	}
-	timer := time.NewTimer(s.opts.BatchWindow)
-	defer timer.Stop()
-	for len(batch) < s.opts.MaxBatch {
-		select {
-		case job := <-sess.jobs:
-			batch = append(batch, job)
-		case <-timer.C:
-			return batch
-		case <-s.closed:
-			return batch
-		}
-	}
-	return batch
-}
-
-func (s *Server) failQueued(sess *session) {
-	for {
-		select {
-		case job := <-sess.jobs:
-			job.done <- inferResult{err: fmt.Errorf("server: shutting down")}
-		default:
-			return
-		}
 	}
 }
