@@ -29,6 +29,12 @@ clean-testcache:
 bench:
 	$(GO) test -bench . -benchmem -run XXX .
 
+# One iteration of every benchmark in the repo: not a measurement, a compile-
+# and-run smoke so perf paths (scheduler, batch inference, NTT fan-out)
+# cannot silently rot. CI runs this after the test suite.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
 # End-to-end remote encrypted inference: spins up an in-process hennserve on
 # a loopback port, registers a session over HTTP, classifies encrypted
 # inputs and checks them against the plaintext reference.

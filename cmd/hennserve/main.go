@@ -1,67 +1,97 @@
 // Command hennserve is the encrypted-inference serving front end: it loads
-// (or trains) a deployed MLP and serves the internal/server HTTP protocol —
-// clients register a session with their public evaluation keys, POST
-// marshaled CKKS ciphertexts and decrypt the returned predictions locally.
+// (or trains) one or more deployed MLPs into a model registry and serves the
+// internal/server HTTP protocol — clients pick a model from the catalog,
+// register a session with their public evaluation keys, POST marshaled CKKS
+// ciphertexts and decrypt the returned predictions locally. Models can also
+// be hot-deployed (POST /v1/models) and retired (DELETE /v1/models/{name})
+// while the server runs.
 //
 // Usage:
 //
-//	hennserve                   # serve the synthetic demo model on :8555
-//	hennserve -train            # train a SMART-PAF MLP first, then serve it
+//	hennserve                               # the synthetic demo model on :8555
+//	hennserve -train                        # a SMART-PAF-trained MLP
+//	hennserve -demo alpha -demo beta:13     # several demo models (name[:seed])
+//	hennserve -models ./deployed            # every *.hemodel bundle in a dir
+//	hennserve -train -demo alpha -export ./deployed   # save bundles, then serve
 //	hennserve -addr :9000 -logn 12 -batch 32 -workers -1 -policy fair
 //
+// SIGINT/SIGTERM drain gracefully: the HTTP listener stops accepting, in-
+// flight inferences finish, then the scheduler and worker pool shut down.
 // See README.md for the protocol and a client walkthrough.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"github.com/efficientfhe/smartpaf/internal/data"
 	"github.com/efficientfhe/smartpaf/internal/henn"
 	"github.com/efficientfhe/smartpaf/internal/nn"
 	"github.com/efficientfhe/smartpaf/internal/paf"
+	"github.com/efficientfhe/smartpaf/internal/registry"
 	"github.com/efficientfhe/smartpaf/internal/server"
 	"github.com/efficientfhe/smartpaf/internal/smartpaf"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8555", "listen address")
-		logN    = flag.Int("logn", 11, "ring degree log2 (demo sizes; production wants >= 14)")
-		seed    = flag.Int64("seed", 7, "model seed")
-		train   = flag.Bool("train", false, "train a SMART-PAF MLP instead of serving the synthetic demo model")
-		batch   = flag.Int("batch", 16, "fair-scheduling quantum: jobs claimed per session turn")
-		workers = flag.Int("workers", -1, "server-wide inference worker budget shared by all sessions (0/1 one worker, <0 all cores)")
-		window  = flag.Duration("window", 0, "how long a newly active session waits for its quantum to fill (0 dispatches immediately; fair policy only)")
-		policy  = flag.String("policy", server.PolicyFair, "cross-session scheduling policy: fair (round-robin quanta) or fifo (arrival order)")
-		ttl     = flag.Duration("ttl", 0, "idle-session eviction TTL (0 keeps the 30m default, <0 disables eviction)")
-		queue   = flag.Int("queue", 0, "per-session request queue depth (0 keeps the 1024 default)")
+		addr      = flag.String("addr", ":8555", "listen address")
+		logN      = flag.Int("logn", 11, "ring degree log2 (demo sizes; production wants >= 14)")
+		seed      = flag.Int64("seed", 7, "default model seed")
+		train     = flag.Bool("train", false, "add a SMART-PAF-trained MLP to the catalog")
+		modelsDir = flag.String("models", "", "directory of *.hemodel bundles to deploy")
+		export    = flag.String("export", "", "write every loaded model as a .hemodel bundle to this directory before serving")
+		batch     = flag.Int("batch", 16, "fair-scheduling quantum: jobs claimed per weight-1 session turn")
+		workers   = flag.Int("workers", -1, "server-wide inference worker budget shared by all sessions and models (0/1 one worker, <0 all cores)")
+		window    = flag.Duration("window", 0, "how long a newly active session waits for its quantum to fill (0 dispatches immediately; fair policy only)")
+		policy    = flag.String("policy", server.PolicyFair, "cross-session scheduling policy: fair (round-robin quanta) or fifo (arrival order)")
+		ttl       = flag.Duration("ttl", 0, "idle-session eviction TTL (0 keeps the 30m default, <0 disables eviction)")
+		queue     = flag.Int("queue", 0, "per-session request queue depth (0 keeps the 1024 default)")
 	)
+	var demos []string
+	flag.Func("demo", "add a synthetic demo model, name[:seed] (repeatable)", func(v string) error {
+		demos = append(demos, v)
+		return nil
+	})
 	flag.Parse()
 
-	model, err := buildModel(*train, *seed, *logN)
+	models, err := buildModels(demos, *train, *modelsDir, *seed, *logN)
 	if err != nil {
 		fail(err)
 	}
-	srv, err := server.New(model, server.Options{
+	if *export != "" {
+		if err := exportModels(*export, models); err != nil {
+			fail(err)
+		}
+	}
+	srv, err := server.New(server.Options{
 		MaxBatch:    *batch,
 		Workers:     *workers,
 		BatchWindow: *window,
 		Policy:      *policy,
 		SessionTTL:  *ttl,
 		QueueDepth:  *queue,
-	})
+	}, models...)
 	if err != nil {
 		fail(err)
 	}
-	info := srv.Info()
-	fmt.Printf("hennserve: model %q (%d -> %d, %d levels), N=%d, %d rotation keys per session\n",
-		info.Name, info.InputDim, info.OutputDim, info.Levels, 1<<*logN, len(info.Rotations))
-	fmt.Printf("hennserve: %q scheduling over a %d-worker shared budget\n",
-		*policy, srv.Stats().Workers)
+	for _, d := range srv.Registry().List() {
+		m := d.Model()
+		fmt.Printf("hennserve: model %q (%d -> %d, %d levels), N=%d, %d rotation keys per session\n",
+			m.Name, m.InputDim, m.OutputDim, d.Levels(), 2*d.Params().Slots(), len(d.Rotations()))
+	}
+	fmt.Printf("hennserve: %d model(s), %q scheduling over a %d-worker shared budget\n",
+		srv.Registry().Len(), *policy, srv.Stats().Workers)
 	fmt.Printf("hennserve: listening on %s\n", *addr)
 	httpSrv := &http.Server{
 		Addr:    *addr,
@@ -73,18 +103,144 @@ func main() {
 		ReadTimeout:       5 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := httpSrv.ListenAndServe(); err != nil {
+
+	// Serve until SIGINT/SIGTERM, then drain: Shutdown stops the listener
+	// and waits for in-flight HTTP exchanges (inference responses included),
+	// then Server.Close stops the scheduler and worker pool.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		srv.Close()
 		fail(err)
+	case <-ctx.Done():
+		stop()
+		fmt.Println("\nhennserve: draining (in-flight inferences finish; press Ctrl-C again to force)")
+		shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "hennserve: shutdown:", err)
+		}
+		srv.Close()
+		fmt.Println("hennserve: bye")
 	}
 }
 
-// buildModel returns either the synthetic demo model or a SMART-PAF-trained
-// MLP (the condensed private_mlp pipeline: pretrain, replace ReLUs with the
-// f1∘g2 PAF, fine-tune, freeze static scaling).
-func buildModel(train bool, seed int64, logN int) (*server.Model, error) {
-	if !train {
-		return server.DemoModel(seed, logN)
+// buildModels assembles the startup catalog: every -demo occurrence, the
+// -train model, and every bundle in -models. With no model flags at all it
+// falls back to the single synthetic demo model.
+func buildModels(demos []string, train bool, modelsDir string, seed int64, logN int) ([]*registry.Model, error) {
+	var models []*registry.Model
+	for _, spec := range demos {
+		m, err := demoModel(spec, seed, logN)
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, m)
 	}
+	if train {
+		m, err := trainedModel(seed, logN)
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, m)
+	}
+	if modelsDir != "" {
+		loaded, err := loadBundles(modelsDir)
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, loaded...)
+	}
+	if len(models) == 0 {
+		m, err := registry.DemoModel(seed, logN)
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, m)
+	}
+	return models, nil
+}
+
+// demoModel parses one -demo spec ("name" or "name:seed") into a synthetic
+// model.
+func demoModel(spec string, defaultSeed int64, logN int) (*registry.Model, error) {
+	name, seedStr, hasSeed := strings.Cut(spec, ":")
+	// Distinct default weights per name: hash the name so -demo foo -demo
+	// bar get different models without an explicit :seed.
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(name))
+	seed := defaultSeed + int64(h.Sum32())
+	if hasSeed {
+		v, err := strconv.ParseInt(seedStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-demo %q: bad seed: %v", spec, err)
+		}
+		seed = v
+	}
+	m, err := registry.DemoModel(seed, logN)
+	if err != nil {
+		return nil, err
+	}
+	if name != "" {
+		m.Name = name
+	}
+	return m, nil
+}
+
+// loadBundles deploys every *.hemodel wire bundle in dir.
+func loadBundles(dir string) ([]*registry.Model, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var models []*registry.Model
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".hemodel") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		m := new(registry.Model)
+		if err := m.UnmarshalBinary(data); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		models = append(models, m)
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("no *.hemodel bundles in %s", dir)
+	}
+	return models, nil
+}
+
+// exportModels writes each model as <dir>/<name>.hemodel, the same bytes
+// POST /v1/models accepts.
+func exportModels(dir string, models []*registry.Model) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, m := range models {
+		data, err := m.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, m.Name+".hemodel")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("hennserve: exported %s (%d bytes)\n", path, len(data))
+	}
+	return nil
+}
+
+// trainedModel runs the condensed private_mlp pipeline: pretrain, replace
+// ReLUs with the f1∘g2 PAF, fine-tune, freeze static scaling.
+func trainedModel(seed int64, logN int) (*registry.Model, error) {
 	dcfg := data.Tiny()
 	dcfg.Channels = 1
 	dcfg.Size = 8
@@ -114,11 +270,11 @@ func buildModel(train bool, seed int64, logN int) (*server.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	lit, err := server.ParamsForMLP(mlp, logN)
+	lit, err := registry.ParamsForMLP(mlp, logN)
 	if err != nil {
 		return nil, err
 	}
-	return &server.Model{
+	return &registry.Model{
 		Name:      "smartpaf-mlp-64x24",
 		MLP:       mlp,
 		Params:    lit,

@@ -1,17 +1,20 @@
 // remote_mlp is the client side of the private-inference deployment story:
 //
-//  1. fetch the served model's prescribed CKKS parameters and required
-//     rotation steps,
+//  1. fetch the server's model catalog and pick a model — each entry carries
+//     its prescribed CKKS parameters and required rotation steps,
 //  2. generate a key set locally and register the public half (public key,
-//     relinearization key, rotation keys) over HTTP,
+//     relinearization key, rotation keys) over HTTP, bound to that model,
 //  3. encrypt inputs, POST the ciphertexts, decrypt the returned
 //     predictions — the server never sees a plaintext or the secret key,
 //  4. fire a burst of concurrent requests to show the server coalescing
-//     them into batches on its shared evaluator.
+//     them into batches on its shared evaluator,
+//  5. run a second session against a different model of the same server —
+//     one worker budget serves the whole catalog.
 //
-// With no flags it spins up an in-process hennserve on a loopback port (so
-// the demo is self-contained and can verify predictions against the model's
-// plaintext reference); point -addr at a running hennserve to go remote.
+// With no flags it spins up an in-process hennserve with two demo models on
+// a loopback port (so the demo is self-contained and can verify predictions
+// against each model's plaintext reference); point -addr at a running
+// hennserve to go remote.
 package main
 
 import (
@@ -25,50 +28,69 @@ import (
 	"sync"
 	"time"
 
+	"github.com/efficientfhe/smartpaf/internal/registry"
 	"github.com/efficientfhe/smartpaf/internal/server"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", "", "hennserve base URL (empty: start an in-process server)")
-		seed  = flag.Int64("seed", 42, "client key seed")
-		logN  = flag.Int("logn", 10, "ring degree log2 for the in-process server")
-		burst = flag.Int("burst", 8, "concurrent requests in the batching demo")
+		addr      = flag.String("addr", "", "hennserve base URL (empty: start an in-process server)")
+		modelName = flag.String("model", "", "model to bind to (empty: first catalog entry)")
+		seed      = flag.Int64("seed", 42, "client key seed")
+		logN      = flag.Int("logn", 10, "ring degree log2 for the in-process server")
+		burst     = flag.Int("burst", 8, "concurrent requests in the batching demo")
 	)
 	flag.Parse()
 	ctx := context.Background()
 
 	base := *addr
-	var model *server.Model
+	local := map[string]*registry.Model{} // name -> plaintext reference
 	if base == "" {
-		var err error
-		model, err = server.DemoModel(7, *logN)
+		alpha, err := registry.DemoModel(7, *logN)
 		check(err)
-		srv, err := server.New(model, server.Options{Workers: -1})
+		alpha.Name = "demo-alpha"
+		beta, err := registry.DemoModel(8, *logN)
+		check(err)
+		beta.Name = "demo-beta"
+		local[alpha.Name], local[beta.Name] = alpha, beta
+		srv, err := server.New(server.Options{Workers: -1}, alpha, beta)
 		check(err)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		check(err)
 		go func() { _ = http.Serve(ln, srv.Handler()) }()
 		base = "http://" + ln.Addr().String()
-		fmt.Printf("in-process hennserve on %s\n", base)
+		fmt.Printf("in-process hennserve on %s serving %d models\n", base, srv.Registry().Len())
 	}
 
 	client := server.NewClient(base, nil)
-	info, err := client.Model(ctx)
+	catalog, err := client.Models(ctx)
 	check(err)
-	fmt.Printf("model %q: %d -> %d, %d levels, %d rotation keys required\n",
-		info.Name, info.InputDim, info.OutputDim, info.Levels, len(info.Rotations))
+	if len(catalog) == 0 {
+		check(fmt.Errorf("server has no models deployed"))
+	}
+	fmt.Println("catalog:")
+	for _, info := range catalog {
+		fmt.Printf("  %q: %d -> %d, %d levels, %d rotation keys required\n",
+			info.Name, info.InputDim, info.OutputDim, info.Levels, len(info.Rotations))
+	}
+	name := *modelName
+	if name == "" {
+		name = catalog[0].Name
+	}
 
 	start := time.Now()
-	sess, err := client.NewSession(ctx, *seed)
+	sess, err := client.NewSessionFor(ctx, name, *seed)
 	check(err)
-	fmt.Printf("session %s... registered in %s (keygen + upload)\n", sess.ID()[:8], time.Since(start).Round(time.Millisecond))
+	info := sess.Model()
+	fmt.Printf("session %s... bound to %q in %s (keygen + upload)\n",
+		sess.ID()[:8], info.Name, time.Since(start).Round(time.Millisecond))
 
 	// Encrypted predictions, checked against the plaintext reference when
 	// the model is local.
 	rng := rand.New(rand.NewSource(3))
 	agree := 0
 	const trials = 3
+	ref := local[info.Name]
 	for trial := 0; trial < trials; trial++ {
 		x := make([]float64, info.InputDim)
 		for i := range x {
@@ -78,8 +100,8 @@ func main() {
 		logits, err := sess.Infer(ctx, x)
 		check(err)
 		lat := time.Since(start)
-		if model != nil {
-			plain := model.MLP.InferPlain(x)[:info.OutputDim]
+		if ref != nil {
+			plain := ref.MLP.InferPlain(x)[:info.OutputDim]
 			match := argmax(logits) == argmax(plain)
 			if match {
 				agree++
@@ -90,7 +112,7 @@ func main() {
 			fmt.Printf("  input %d: encrypted pred %d (%s)\n", trial, argmax(logits), lat.Round(time.Millisecond))
 		}
 	}
-	if model != nil {
+	if ref != nil {
 		fmt.Printf("encrypted/plaintext agreement: %d/%d\n", agree, trials)
 		if agree != trials {
 			fmt.Fprintln(os.Stderr, "remote_mlp: encrypted predictions diverged from the plaintext reference")
@@ -124,6 +146,34 @@ func main() {
 	wall := time.Since(start)
 	fmt.Printf("%d concurrent requests in %s (%.2f req/s)\n", *burst, wall.Round(time.Millisecond),
 		float64(*burst)/wall.Seconds())
+
+	// Multi-model: bind a second session to another catalog entry — the
+	// same server, scheduler and worker budget serve both models.
+	if len(catalog) > 1 {
+		other := catalog[0].Name
+		if other == info.Name {
+			other = catalog[1].Name
+		}
+		fmt.Printf("\nbinding a second session to %q on the same server...\n", other)
+		sess2, err := client.NewSessionFor(ctx, other, *seed+1)
+		check(err)
+		x2 := make([]float64, sess2.Model().InputDim)
+		for i := range x2 {
+			x2[i] = rng.Float64()*2 - 1
+		}
+		logits, err := sess2.Infer(ctx, x2)
+		check(err)
+		if ref2 := local[other]; ref2 != nil {
+			plain := ref2.MLP.InferPlain(x2)[:sess2.Model().OutputDim]
+			if argmax(logits) != argmax(plain) {
+				fmt.Fprintln(os.Stderr, "remote_mlp: second model's encrypted prediction diverged")
+				os.Exit(1)
+			}
+			fmt.Printf("  %q encrypted pred %d matches its plaintext reference\n", other, argmax(logits))
+		} else {
+			fmt.Printf("  %q encrypted pred %d\n", other, argmax(logits))
+		}
+	}
 }
 
 func argmax(v []float64) int {

@@ -34,14 +34,14 @@ type Options struct {
 // Runner executes one experiment.
 type Runner func(Options) error
 
-var registry = map[string]Runner{}
+var runners = map[string]Runner{}
 
-func register(id string, r Runner) { registry[id] = r }
+func register(id string, r Runner) { runners[id] = r }
 
 // IDs lists the registered experiment ids, sorted.
 func IDs() []string {
-	out := make([]string, 0, len(registry))
-	for id := range registry {
+	out := make([]string, 0, len(runners))
+	for id := range runners {
 		out = append(out, id)
 	}
 	sort.Strings(out)
@@ -50,7 +50,7 @@ func IDs() []string {
 
 // Run executes the experiment with the given id.
 func Run(id string, opt Options) error {
-	r, ok := registry[id]
+	r, ok := runners[id]
 	if !ok {
 		return fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
 	}

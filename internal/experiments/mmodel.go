@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/efficientfhe/smartpaf/internal/registry"
+	"github.com/efficientfhe/smartpaf/internal/server"
+)
+
+func init() {
+	register("mmodel", MultiModelLoad)
+}
+
+// MultiModelLoad measures the multi-model registry under a mixed workload
+// and lifecycle churn: a 2-model catalog shares one worker budget while
+// model "alpha" floods and model "beta" sends paced requests; mid-run a
+// third model ("gamma") is hot-deployed over HTTP and served, then alpha is
+// retired mid-traffic — its in-flight requests fail 410 and its stack
+// drains. The table reports per-model p50/p99 latency under the shared
+// budget; the summary lines verify the tentpole properties: peak parallelism
+// stays within the single budget across all models, and retirement never
+// panics the server.
+func MultiModelLoad(opt Options) error {
+	logN, floodersN, pacedN := 9, 6, 8
+	if !opt.Fast {
+		logN, floodersN, pacedN = 11, 10, 12
+	}
+	// Unset knob: a deliberately small budget (2), so the flood saturates it
+	// and cross-model scheduling — not spare capacity — decides who waits.
+	workers := opt.Parallel
+	if workers == 0 {
+		workers = 2
+	}
+
+	newModel := func(name string, seed int64) (*registry.Model, error) {
+		m, err := registry.DemoModel(seed, logN)
+		if err != nil {
+			return nil, err
+		}
+		m.Name = name
+		return m, nil
+	}
+	alpha, err := newModel("alpha", opt.Seed)
+	if err != nil {
+		return err
+	}
+	beta, err := newModel("beta", opt.Seed+1)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Options{MaxBatch: 4, Workers: workers}, alpha, beta)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+
+	ctx := context.Background()
+	client := server.NewClient("http://"+ln.Addr().String(), nil)
+	alphaSess, err := client.NewSessionFor(ctx, "alpha", opt.Seed^0xa1fa)
+	if err != nil {
+		return err
+	}
+	betaSess, err := client.NewSessionFor(ctx, "beta", opt.Seed^0xbe7a)
+	if err != nil {
+		return err
+	}
+
+	x := make([]float64, alpha.InputDim)
+	for i := range x {
+		x[i] = float64(i%7)/7.0 - 0.5
+	}
+	if _, err := alphaSess.Infer(ctx, x); err != nil { // warm caches before timing
+		return err
+	}
+	if _, err := betaSess.Infer(ctx, x); err != nil {
+		return err
+	}
+
+	type tally struct {
+		lats    []time.Duration
+		retired int
+	}
+	results := map[string]*tally{"alpha": {}, "beta": {}, "gamma": {}}
+	var (
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		runErr error
+	)
+	record := func(model string, d time.Duration, err error) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		t := results[model]
+		switch {
+		case err == nil:
+			t.lats = append(t.lats, d)
+			return true
+		case strings.Contains(err.Error(), "session closed") ||
+			strings.Contains(err.Error(), "unknown session"):
+			// Retirement in action: queued jobs 410, post-removal lookups 404.
+			t.retired++
+			return false
+		default:
+			if runErr == nil {
+				runErr = err
+			}
+			return false
+		}
+	}
+
+	// Alpha flooders hammer until retirement cuts them off (bounded so a
+	// missed retire cannot spin forever).
+	for g := 0; g < floodersN; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 400; r++ {
+				start := time.Now()
+				_, err := alphaSess.Infer(ctx, x)
+				if !record("alpha", time.Since(start), err) {
+					return
+				}
+			}
+		}()
+	}
+	// Beta paces single requests through the flood.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < pacedN; r++ {
+			start := time.Now()
+			_, err := betaSess.Infer(ctx, x)
+			if !record("beta", time.Since(start), err) {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Mid-run lifecycle: hot-deploy gamma over HTTP, serve it, then retire
+	// alpha while its flood is standing.
+	gamma, err := newModel("gamma", opt.Seed+2)
+	if err != nil {
+		return err
+	}
+	time.Sleep(100 * time.Millisecond)
+	if _, err := client.Deploy(ctx, gamma); err != nil {
+		return err
+	}
+	gammaSess, err := client.NewSessionFor(ctx, "gamma", opt.Seed^0x9a3a)
+	if err != nil {
+		return err
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < pacedN; r++ {
+			start := time.Now()
+			_, err := gammaSess.Infer(ctx, x)
+			if !record("gamma", time.Since(start), err) {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	time.Sleep(150 * time.Millisecond)
+	if err := client.Retire(ctx, "alpha"); err != nil {
+		return err
+	}
+	wg.Wait()
+	if runErr != nil {
+		return runErr
+	}
+
+	t := newTable(fmt.Sprintf("Multi-model mixed workload, shared budget=%d (N=%d)", workers, 1<<logN),
+		"model", "role", "ok", "410s", "p50", "p99")
+	for _, row := range []struct{ name, role string }{
+		{"alpha", "flood, retired mid-run"},
+		{"beta", "paced"},
+		{"gamma", "hot-deployed, paced"},
+	} {
+		res := results[row.name]
+		t.addRowf("%s|%s|%d|%d|%s|%s", row.name, row.role, len(res.lats), res.retired,
+			percentile(res.lats, 0.50).Round(time.Millisecond),
+			percentile(res.lats, 0.99).Round(time.Millisecond))
+	}
+	t.write(opt.W)
+
+	st := srv.Stats()
+	fmt.Fprintf(opt.W, "\npeak in-flight %d within budget %d; %d units over %d scheduler turns\n",
+		st.PeakInFlight, st.Workers, st.UnitsRun, st.Quanta)
+	if st.PeakInFlight > st.Workers {
+		return fmt.Errorf("mmodel: peak parallelism %d exceeded the %d-worker budget", st.PeakInFlight, st.Workers)
+	}
+	fmt.Fprintf(opt.W, "catalog after churn: %d models (gamma hot-deployed, alpha retired; %d alpha requests saw 410/404)\n",
+		srv.Registry().Len(), results["alpha"].retired)
+	fmt.Fprintln(opt.W, "one scheduler and one worker budget served every model; retirement drained gracefully.")
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/efficientfhe/smartpaf/internal/registry"
 	"github.com/efficientfhe/smartpaf/internal/server"
 )
 
@@ -83,11 +84,11 @@ func MultiServeLoad(opt Options) error {
 // latencies plus the server's scheduler stats.
 func runMultiSession(opt Options, logN, workers int, policy string, floodN, victimN int) ([][]time.Duration, server.Stats, error) {
 	var zero server.Stats
-	model, err := server.DemoModel(opt.Seed, logN)
+	model, err := registry.DemoModel(opt.Seed, logN)
 	if err != nil {
 		return nil, zero, err
 	}
-	srv, err := server.New(model, server.Options{MaxBatch: 4, Workers: workers, Policy: policy})
+	srv, err := server.New(server.Options{MaxBatch: 4, Workers: workers, Policy: policy}, model)
 	if err != nil {
 		return nil, zero, err
 	}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/efficientfhe/smartpaf/internal/registry"
 	"github.com/efficientfhe/smartpaf/internal/server"
 )
 
@@ -38,11 +39,11 @@ func ServeLoad(opt Options) error {
 		workers = -1
 	}
 
-	model, err := server.DemoModel(opt.Seed, logN)
+	model, err := registry.DemoModel(opt.Seed, logN)
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(model, server.Options{MaxBatch: 16, Workers: workers})
+	srv, err := server.New(server.Options{MaxBatch: 16, Workers: workers}, model)
 	if err != nil {
 		return err
 	}

@@ -196,6 +196,25 @@ func FromModel(m *nn.Model) (*MLP, error) {
 	return out, nil
 }
 
+// DropCaches releases every linear layer's cached diagonal plan and encoded
+// plaintexts. A model registry calls this when a retired model finishes
+// draining, so a hot-deployed-then-retired network cannot pin slot-sized
+// caches for the life of the process.
+func (mlp *MLP) DropCaches() {
+	for _, l := range mlp.Layers {
+		lin, ok := l.(*Linear)
+		if !ok {
+			continue
+		}
+		lin.planMu.Lock()
+		lin.plan = nil
+		lin.planMu.Unlock()
+		lin.ptMu.Lock()
+		lin.pts = nil
+		lin.ptMu.Unlock()
+	}
+}
+
 // RequiredRotations returns the sorted rotation steps every linear layer
 // needs under the diagonal method at the given slot count.
 func (mlp *MLP) RequiredRotations(slots int) []int {
@@ -361,7 +380,12 @@ func (mlp *MLP) InferPlain(x []float64) []float64 {
 		case *Linear:
 			next := make([]float64, v.Out)
 			for i := 0; i < v.Out; i++ {
-				s := v.B[i]
+				// A nil bias is a valid deployed layer (addBias skips it on
+				// the encrypted path); the reference must agree.
+				s := 0.0
+				if v.B != nil {
+					s = v.B[i]
+				}
 				for j := 0; j < v.In && j < len(cur); j++ {
 					s += v.W[i][j] * cur[j]
 				}

@@ -1,0 +1,263 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/efficientfhe/smartpaf/internal/ckks"
+	"github.com/efficientfhe/smartpaf/internal/henn"
+)
+
+// Sentinel errors callers branch on (the HTTP layer maps them to statuses).
+var (
+	// ErrExists is returned by Deploy when the name is already taken.
+	ErrExists = errors.New("registry: model already deployed")
+	// ErrUnknown is returned by Retire for a name that is not deployed.
+	ErrUnknown = errors.New("registry: unknown model")
+	// ErrRetired is returned by Bind once a model has been retired.
+	ErrRetired = errors.New("registry: model retired")
+)
+
+// Deployed is one compiled serving stack: the model plus everything derived
+// from it at deploy time — compiled parameters, a shared encoder, the
+// canonical parameter-literal bytes sessions must match, the rotation-step
+// set (computing it warms every linear layer's diagonal-plan cache), and
+// per-model counters. All fields are immutable after Deploy except the
+// counters and the lifecycle state, so any number of sessions and workers
+// can share one Deployed without locking.
+type Deployed struct {
+	model      *Model
+	params     *ckks.Parameters
+	enc        *ckks.Encoder
+	paramBytes []byte
+	levels     int
+	rotations  []int
+
+	unitsRun atomic.Int64
+
+	mu      sync.Mutex
+	refs    int
+	retired bool
+	freed   bool
+	drained chan struct{} // closed when retired and the last ref released
+}
+
+// Model returns the deployed artifact (treat as read-only).
+func (d *Deployed) Model() *Model { return d.model }
+
+// Params returns the compiled CKKS parameters.
+func (d *Deployed) Params() *ckks.Parameters { return d.params }
+
+// Encoder returns the shared encoder for the model's parameters.
+func (d *Deployed) Encoder() *ckks.Encoder { return d.enc }
+
+// ParamBytes returns the canonical literal encoding sessions must byte-match.
+func (d *Deployed) ParamBytes() []byte { return d.paramBytes }
+
+// Levels returns the multiplicative levels one inference consumes.
+func (d *Deployed) Levels() int { return d.levels }
+
+// Rotations returns the rotation steps a session's key set must cover.
+func (d *Deployed) Rotations() []int { return d.rotations }
+
+// AddUnitRun bumps the per-model inference counter.
+func (d *Deployed) AddUnitRun() { d.unitsRun.Add(1) }
+
+// UnitsRun reports how many inference units have run against this model.
+func (d *Deployed) UnitsRun() int64 { return d.unitsRun.Load() }
+
+// Bind takes a session reference, failing once the model is retired — a
+// registering client racing a retire gets a clean error instead of a stack
+// that is being torn down.
+func (d *Deployed) Bind() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.retired {
+		return ErrRetired
+	}
+	d.refs++
+	return nil
+}
+
+// Retain takes an additional reference for an in-flight inference unit. The
+// caller must already hold a reference (the scheduler retains on behalf of a
+// bound session before submitting a unit), so Retain cannot race the final
+// drain and never fails — a retired model keeps serving its in-flight units.
+func (d *Deployed) Retain() {
+	d.mu.Lock()
+	d.refs++
+	d.mu.Unlock()
+}
+
+// Release drops one reference. When a retired model's last reference goes,
+// the stack is freed: the MLP's diagonal-plan and plaintext caches are
+// dropped and Drained is closed. Freeing is idempotent — a scheduler's
+// Retain racing the final session Release can briefly resurrect the count
+// after the free, and its own Release must not free twice.
+func (d *Deployed) Release() {
+	d.mu.Lock()
+	if d.refs <= 0 {
+		d.mu.Unlock()
+		panic("registry: Release without a matching Bind/Retain")
+	}
+	d.refs--
+	free := d.claimFreeLocked()
+	d.mu.Unlock()
+	if free {
+		d.free()
+	}
+}
+
+// claimFreeLocked reports (once) that the stack should be freed now.
+func (d *Deployed) claimFreeLocked() bool {
+	if d.retired && d.refs == 0 && !d.freed {
+		d.freed = true
+		return true
+	}
+	return false
+}
+
+// retire flips the lifecycle flag, freeing immediately when nothing is bound.
+func (d *Deployed) retire() {
+	d.mu.Lock()
+	d.retired = true
+	free := d.claimFreeLocked()
+	d.mu.Unlock()
+	if free {
+		d.free()
+	}
+}
+
+func (d *Deployed) free() {
+	d.model.MLP.DropCaches()
+	close(d.drained)
+}
+
+// Refs reports the current reference count (bound sessions plus in-flight
+// units); primarily for tests and stats.
+func (d *Deployed) Refs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.refs
+}
+
+// Retired reports whether the model has been retired.
+func (d *Deployed) Retired() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.retired
+}
+
+// Drained is closed once a retired model's last reference is released and
+// its caches are freed. For a live model the channel never closes.
+func (d *Deployed) Drained() <-chan struct{} { return d.drained }
+
+// Registry is the concurrency-safe model catalog.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*Deployed
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{models: map[string]*Deployed{}}
+}
+
+// Deploy validates and compiles the model into a serving stack and publishes
+// it under its name. Compilation happens outside the catalog lock (parameter
+// compilation and plan warming are expensive), so concurrent deploys of
+// different models proceed in parallel; a name collision returns ErrExists.
+func (r *Registry) Deploy(m *Model) (*Deployed, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	params, err := ckks.NewParameters(m.Params)
+	if err != nil {
+		return nil, fmt.Errorf("registry: compiling %q parameters: %w", m.Name, err)
+	}
+	// One inference consumes exactly LevelsRequired levels (input at level L
+	// finishes at L−LevelsRequired ≥ 0), so a chain whose MaxLevel equals
+	// LevelsRequired is the true minimum.
+	need := m.MLP.LevelsRequired()
+	if params.MaxLevel() < need {
+		return nil, fmt.Errorf("registry: %q parameters support %d levels, model needs %d", m.Name, params.MaxLevel(), need)
+	}
+	slots := params.Slots()
+	for _, l := range m.MLP.Layers {
+		if lin, ok := l.(*henn.Linear); ok && (lin.In > slots || lin.Out > slots) {
+			return nil, fmt.Errorf("registry: %q layer %dx%d exceeds %d slots", m.Name, lin.Out, lin.In, slots)
+		}
+	}
+	paramBytes, err := m.Params.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployed{
+		model:      m,
+		params:     params,
+		enc:        ckks.NewEncoder(params),
+		paramBytes: paramBytes,
+		levels:     need,
+		// RequiredRotations builds (and caches) every linear layer's diagonal
+		// plan, so the first inference after a hot deploy does not pay the
+		// O(slots·Out) plan derivation.
+		rotations: m.MLP.RequiredRotations(slots),
+		drained:   make(chan struct{}),
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.models[m.Name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrExists, m.Name)
+	}
+	r.models[m.Name] = d
+	return d, nil
+}
+
+// Get returns the deployed stack for the name.
+func (r *Registry) Get(name string) (*Deployed, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.models[name]
+	return d, ok
+}
+
+// List returns the deployed stacks sorted by name.
+func (r *Registry) List() []*Deployed {
+	r.mu.RLock()
+	out := make([]*Deployed, 0, len(r.models))
+	for _, d := range r.models {
+		out = append(out, d)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].model.Name < out[j].model.Name })
+	return out
+}
+
+// Len reports how many models are deployed.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}
+
+// Retire removes the model from the catalog — new Bind calls fail from this
+// point — and returns its stack so the caller can close bound sessions. The
+// stack's caches are freed once every bound session and in-flight unit has
+// released its reference (watch Drained for that moment).
+func (r *Registry) Retire(name string) (*Deployed, error) {
+	r.mu.Lock()
+	d, ok := r.models[name]
+	if ok {
+		delete(r.models, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	d.retire()
+	return d, nil
+}

@@ -1,0 +1,280 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+const testLogN = 8
+
+func testModel(t testing.TB, name string, seed int64) *Model {
+	t.Helper()
+	m, err := DemoModel(seed, testLogN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Name = name
+	return m
+}
+
+func TestDeployGetListRetire(t *testing.T) {
+	r := New()
+	alpha, err := r.Deploy(testModel(t, "alpha", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Deploy(testModel(t, "beta", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := r.Get("alpha"); !ok || got != alpha {
+		t.Fatal("Get(alpha) did not return the deployed stack")
+	}
+	names := []string{}
+	for _, d := range r.List() {
+		names = append(names, d.Model().Name)
+	}
+	if !reflect.DeepEqual(names, []string{"alpha", "beta"}) {
+		t.Fatalf("List order %v, want [alpha beta]", names)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len %d, want 2", r.Len())
+	}
+
+	if _, err := r.Deploy(testModel(t, "alpha", 3)); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate deploy: got %v, want ErrExists", err)
+	}
+
+	if _, err := r.Retire("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get("alpha"); ok {
+		t.Fatal("retired model still in the catalog")
+	}
+	if _, err := r.Retire("alpha"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("double retire: got %v, want ErrUnknown", err)
+	}
+}
+
+// TestDeployWarmsAndPrescribes: a deployed stack carries everything a
+// session needs, and the rotation set matches the model's own derivation.
+func TestDeployWarmsAndPrescribes(t *testing.T) {
+	r := New()
+	m := testModel(t, "alpha", 4)
+	d, err := r.Deploy(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Params() == nil || d.Encoder() == nil || len(d.ParamBytes()) == 0 {
+		t.Fatal("deployed stack missing compiled artifacts")
+	}
+	if d.Levels() != m.MLP.LevelsRequired() {
+		t.Fatalf("Levels %d, want %d", d.Levels(), m.MLP.LevelsRequired())
+	}
+	if want := m.MLP.RequiredRotations(d.Params().Slots()); !reflect.DeepEqual(d.Rotations(), want) {
+		t.Fatalf("rotation set %v, want %v", d.Rotations(), want)
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	r := New()
+	for _, name := range []string{"", "no/slash", "-leading", "x" + string(make([]byte, 200))} {
+		m := testModel(t, "ok", 5)
+		m.Name = name
+		if _, err := r.Deploy(m); err == nil {
+			t.Fatalf("name %q deployed", name)
+		}
+	}
+	// Too-shallow chain: the model needs more levels than the literal has.
+	m := testModel(t, "shallow", 6)
+	m.Params.LogQ = m.Params.LogQ[:2]
+	if _, err := r.Deploy(m); err == nil {
+		t.Fatal("insufficient-level chain deployed")
+	}
+	// Declared dims outside the linear envelope.
+	m = testModel(t, "dims", 7)
+	m.InputDim = 17
+	if _, err := r.Deploy(m); err == nil {
+		t.Fatal("input dim beyond the envelope deployed")
+	}
+}
+
+// TestRetireRefcountDrain is the graceful-retirement contract: a retired
+// stack is freed only after the last bound session and in-flight unit
+// release, and new binds fail from the moment of retirement.
+func TestRetireRefcountDrain(t *testing.T) {
+	r := New()
+	d, err := r.Deploy(testModel(t, "alpha", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Bind(); err != nil { // a session
+		t.Fatal(err)
+	}
+	d.Retain() // an in-flight unit
+
+	if _, err := r.Retire("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Bind(); !errors.Is(err, ErrRetired) {
+		t.Fatalf("bind after retire: got %v, want ErrRetired", err)
+	}
+	select {
+	case <-d.Drained():
+		t.Fatal("drained with references outstanding")
+	default:
+	}
+	d.Release() // unit finishes
+	select {
+	case <-d.Drained():
+		t.Fatal("drained with the session still bound")
+	default:
+	}
+	d.Release() // session closes
+	select {
+	case <-d.Drained():
+	case <-time.After(time.Second):
+		t.Fatal("stack not freed after the last release")
+	}
+}
+
+// TestRetainAfterFreeIsIdempotent: a scheduler Retain can race the final
+// session Release past the free; the trailing Release must not free (close
+// Drained) a second time.
+func TestRetainAfterFreeIsIdempotent(t *testing.T) {
+	r := New()
+	d, err := r.Deploy(testModel(t, "race", 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Bind(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Retire("race"); err != nil {
+		t.Fatal(err)
+	}
+	d.Release() // last session ref: frees, closes Drained
+	select {
+	case <-d.Drained():
+	default:
+		t.Fatal("not drained after the last release")
+	}
+	d.Retain() // late in-flight unit resurrects the count
+	d.Release()
+	select {
+	case <-d.Drained(): // still closed exactly once, no panic
+	default:
+		t.Fatal("drained channel reopened")
+	}
+}
+
+// TestRetireIdleFreesImmediately: retiring a model nothing is bound to
+// drains on the spot.
+func TestRetireIdleFreesImmediately(t *testing.T) {
+	r := New()
+	d, err := r.Deploy(testModel(t, "idle", 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Retire("idle"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-d.Drained():
+	default:
+		t.Fatal("idle retire did not free the stack")
+	}
+}
+
+// TestConcurrentDeployRetire hammers the catalog from many goroutines; run
+// under -race this pins the locking discipline.
+func TestConcurrentDeployRetire(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("m%d", g)
+			for i := 0; i < 10; i++ {
+				d, err := r.Deploy(testModel(t, name, int64(g)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := d.Bind(); err != nil {
+					t.Error(err)
+					return
+				}
+				r.List()
+				r.Get(name)
+				if _, err := r.Retire(name); err != nil {
+					t.Error(err)
+					return
+				}
+				d.Release()
+				select {
+				case <-d.Drained():
+				case <-time.After(5 * time.Second):
+					t.Error("stack never drained")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestBundleRoundTrip: the deploy artifact survives the wire fully validated.
+func TestBundleRoundTrip(t *testing.T) {
+	m := testModel(t, "bundle", 10)
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := new(Model)
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || got.InputDim != m.InputDim || got.OutputDim != m.OutputDim {
+		t.Fatalf("bundle metadata mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Params, m.Params) {
+		t.Fatalf("parameter literal mismatch: %+v vs %+v", got.Params, m.Params)
+	}
+	x := make([]float64, m.InputDim)
+	for i := range x {
+		x[i] = float64(i%3)/3 - 0.3
+	}
+	if !reflect.DeepEqual(got.MLP.InferPlain(x), m.MLP.InferPlain(x)) {
+		t.Fatal("decoded network computes differently")
+	}
+	// A round-tripped bundle deploys.
+	if _, err := New().Deploy(got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBundleHostile: truncations and corrupted headers error cleanly.
+func TestBundleHostile(t *testing.T) {
+	data, err := testModel(t, "bundle", 11).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n += 7 {
+		if err := new(Model).UnmarshalBinary(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	bad := append([]byte{}, data...)
+	bad[0] ^= 0xff
+	if err := new(Model).UnmarshalBinary(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if err := new(Model).UnmarshalBinary(append(data, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 
 	"github.com/efficientfhe/smartpaf/internal/ckks"
+	"github.com/efficientfhe/smartpaf/internal/registry"
 )
 
 // Client talks to a hennserve instance. It is safe for concurrent use.
@@ -39,25 +41,106 @@ func apiError(resp *http.Response) error {
 	return fmt.Errorf("server: %s", resp.Status)
 }
 
-// Model fetches the served model's description.
+// getJSON fetches path and decodes the JSON response into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Model fetches the served model's description. It only succeeds while the
+// server has exactly one model deployed; use Models/ModelNamed otherwise.
 func (c *Client) Model(ctx context.Context) (*ModelInfo, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/model", nil)
+	info := new(ModelInfo)
+	if err := c.getJSON(ctx, "/v1/model", info); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// Models fetches the full model catalog, sorted by name.
+func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
+	var infos []ModelInfo
+	if err := c.getJSON(ctx, "/v1/models", &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// ModelNamed fetches one model's description by registry name.
+func (c *Client) ModelNamed(ctx context.Context, name string) (*ModelInfo, error) {
+	info := new(ModelInfo)
+	if err := c.getJSON(ctx, "/v1/models/"+url.PathEscape(name), info); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// Stats fetches the server's scheduler and per-model counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	st := new(Stats)
+	if err := c.getJSON(ctx, "/v1/stats", st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Deploy hot-deploys a model (admin): the bundle crosses the wire in the
+// registry binary format and is serving sessions when the call returns.
+func (c *Client) Deploy(ctx context.Context, m *registry.Model) (*ModelInfo, error) {
+	data, err := m.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/models", bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != http.StatusCreated {
 		return nil, apiError(resp)
 	}
 	info := new(ModelInfo)
 	if err := json.NewDecoder(resp.Body).Decode(info); err != nil {
-		return nil, fmt.Errorf("decoding model info: %w", err)
+		return nil, fmt.Errorf("decoding deploy response: %w", err)
 	}
 	return info, nil
+}
+
+// Retire removes a model from the server's catalog (admin): its bound
+// sessions' pending requests fail 410 and the stack is freed once drained.
+func (c *Client) Retire(ctx context.Context, name string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/models/"+url.PathEscape(name), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return apiError(resp)
+	}
+	return nil
 }
 
 // Session is a registered client session. The secret key never leaves it:
@@ -73,11 +156,31 @@ type Session struct {
 	decr   *ckks.Decryptor
 }
 
-// NewSession fetches the model info, generates a key set under the server's
-// prescribed parameters and registers the public half. The seed drives the
-// deterministic key generation (each client should pick its own).
+// NewSession registers against the server's sole deployed model: it fetches
+// the model info, generates a key set under the prescribed parameters and
+// registers the public half. The seed drives the deterministic key
+// generation (each client should pick its own). On a multi-model server use
+// NewSessionFor.
 func (c *Client) NewSession(ctx context.Context, seed int64) (*Session, error) {
-	info, err := c.Model(ctx)
+	return c.newSession(ctx, "", seed)
+}
+
+// NewSessionFor registers a session bound to the named model.
+func (c *Client) NewSessionFor(ctx context.Context, model string, seed int64) (*Session, error) {
+	if model == "" {
+		return nil, fmt.Errorf("server: NewSessionFor needs a model name")
+	}
+	return c.newSession(ctx, model, seed)
+}
+
+func (c *Client) newSession(ctx context.Context, model string, seed int64) (*Session, error) {
+	var info *ModelInfo
+	var err error
+	if model == "" {
+		info, err = c.Model(ctx)
+	} else {
+		info, err = c.ModelNamed(ctx, model)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -109,6 +212,7 @@ func (c *Client) NewSession(ctx context.Context, seed int64) (*Session, error) {
 		return nil, err
 	}
 	payload, err := json.Marshal(registerRequest{
+		Model:        info.Name,
 		Params:       info.Params,
 		PublicKey:    pkBytes,
 		RelinKey:     rlkBytes,

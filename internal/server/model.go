@@ -1,56 +1,65 @@
 // Package server is the encrypted-inference serving front end: an HTTP
-// service that multiplexes many client sessions onto one shared
-// henn/ckks evaluation stack per model.
+// service that multiplexes many client sessions onto the deployed models of
+// an internal/registry catalog — one shared henn/ckks evaluation stack per
+// model, one cross-model scheduler and worker budget for the whole server.
 //
 // The deployment story follows the marshal layer's framing: the client owns
 // the secret key and ships only public material — the parameters literal,
 // public key, relinearization key and rotation-key set — when registering a
 // session, then POSTs marshaled ciphertexts to the inference endpoint and
 // decrypts the returned result locally. The server never sees a plaintext.
+// Models themselves are artifacts on the same wire: an admin hot-deploys a
+// marshaled registry.Model bundle and retires models by name, without
+// restarting the server.
 //
-// Protocol (all binary payloads use the internal/ckks wire format;
-// JSON []byte fields are base64 per encoding/json):
+// Protocol (all binary payloads use the internal/ckks and internal/henn wire
+// formats; JSON []byte fields are base64 per encoding/json):
+//
+//	GET  /v1/models
+//	    -> [{name, inputDim, outputDim, levels, slots, params, rotations}]
+//	    The catalog. Each model prescribes its parameter literal; prime
+//	    derivation is deterministic, so both sides compile identical chains.
+//
+//	GET  /v1/models/{name}
+//	    -> one catalog entry, 404 for unknown names.
 //
 //	GET  /v1/model
-//	    -> {name, inputDim, outputDim, levels, slots, params, rotations}
-//	    The server prescribes the parameter literal; prime derivation is
-//	    deterministic, so both sides compile identical chains.
+//	    Single-model convenience: the sole deployed model, 409 when several
+//	    are deployed (name one instead), 404 when none is.
+//
+//	POST /v1/models          (admin)
+//	    raw marshaled registry.Model bundle -> catalog entry (201)
+//	    Hot deploy: the model is validated, compiled and warmed, then
+//	    serves sessions immediately. Duplicate names are 409.
+//
+//	DELETE /v1/models/{name} (admin)
+//	    Retire: the model leaves the catalog at once, its bound sessions
+//	    are closed (queued jobs fail 410), in-flight units finish, and the
+//	    stack's caches are freed once drained. 204 on success.
 //
 //	POST /v1/sessions
-//	    {params, publicKey, relinKey, rotationKeys} -> {sessionID}
-//	    params must byte-match the prescribed literal; rotationKeys must
-//	    cover every step in the model's rotations list.
+//	    {model, params, publicKey, relinKey, rotationKeys} -> {sessionID, model, weight}
+//	    Binds the session to a deployed model. model may be empty only
+//	    while exactly one model is deployed; params must byte-match that
+//	    model's prescribed literal and rotationKeys must cover exactly its
+//	    rotation set. Registering against a retiring model returns 410.
 //
 //	POST /v1/sessions/{id}/infer
 //	    raw marshaled ciphertext -> raw marshaled ciphertext
-//	    All sessions' requests flow through one cross-session scheduler:
-//	    round-robin quanta over per-session queues feeding a shared
-//	    bounded worker pool, so a flooding session cannot starve the
-//	    others and total parallelism is one server-wide budget. The input
-//	    ciphertext must arrive at level >= the model's advertised levels
-//	    (one inference consumes exactly that many).
+//	    All sessions' requests — across every model — flow through one
+//	    scheduler: weighted round-robin quanta over per-session queues
+//	    feeding a shared bounded worker pool, so one worker budget serves
+//	    the whole catalog. The input ciphertext must arrive at level >= the
+//	    model's advertised levels (one inference consumes exactly that
+//	    many). Requests on a session whose model was retired return 410.
+//
+//	GET  /v1/stats
+//	    -> scheduler counters plus per-model sessions/backlog/units.
 //
 // Errors are JSON {"error": "..."} with a 4xx/5xx status.
 package server
 
-import (
-	"fmt"
-	"math/rand"
-
-	"github.com/efficientfhe/smartpaf/internal/ckks"
-	"github.com/efficientfhe/smartpaf/internal/henn"
-	"github.com/efficientfhe/smartpaf/internal/paf"
-)
-
-// Model bundles everything the server needs to serve one deployed network:
-// the frozen henn MLP and the CKKS parameter literal sessions must use.
-type Model struct {
-	Name      string
-	MLP       *henn.MLP
-	Params    ckks.ParametersLiteral
-	InputDim  int
-	OutputDim int
-}
+import "github.com/efficientfhe/smartpaf/internal/registry"
 
 // ModelInfo is the public description a client fetches before key
 // generation: the prescribed parameters and the rotation steps its key set
@@ -65,73 +74,16 @@ type ModelInfo struct {
 	Rotations []int  `json:"rotations"`
 }
 
-// Dims returns the (input, output) dimensions of an MLP's linear envelope.
-func Dims(mlp *henn.MLP) (in, out int, err error) {
-	for _, l := range mlp.Layers {
-		lin, ok := l.(*henn.Linear)
-		if !ok {
-			continue
-		}
-		if in == 0 {
-			in = lin.In
-		}
-		out = lin.Out
+// infoFor projects a deployed stack into its public description.
+func infoFor(d *registry.Deployed) ModelInfo {
+	m := d.Model()
+	return ModelInfo{
+		Name:      m.Name,
+		InputDim:  m.InputDim,
+		OutputDim: m.OutputDim,
+		Levels:    d.Levels(),
+		Slots:     d.Params().Slots(),
+		Params:    d.ParamBytes(),
+		Rotations: d.Rotations(),
 	}
-	if in == 0 || out == 0 {
-		return 0, 0, fmt.Errorf("server: model has no linear layers")
-	}
-	return in, out, nil
-}
-
-// ParamsForMLP sizes a parameter literal for the model's inference depth at
-// the given ring degree, mirroring the repo's example sizing: one level of
-// headroom above LevelsRequired, a 55-bit base prime and 45-bit rescaling
-// primes.
-func ParamsForMLP(mlp *henn.MLP, logN int) (ckks.ParametersLiteral, error) {
-	if _, _, err := Dims(mlp); err != nil {
-		return ckks.ParametersLiteral{}, err
-	}
-	slots := 1 << (logN - 1)
-	// Every layer (not just the envelope) must fit the slot vector.
-	for _, l := range mlp.Layers {
-		if lin, ok := l.(*henn.Linear); ok && (lin.In > slots || lin.Out > slots) {
-			return ckks.ParametersLiteral{}, fmt.Errorf("server: layer %dx%d exceeds %d slots at LogN=%d", lin.Out, lin.In, slots, logN)
-		}
-	}
-	levels := mlp.LevelsRequired() + 1
-	logQ := make([]int, levels+1)
-	logQ[0] = 55
-	for i := 1; i <= levels; i++ {
-		logQ[i] = 45
-	}
-	return ckks.ParametersLiteral{LogN: logN, LogQ: logQ, LogP: 55, LogScale: 45}, nil
-}
-
-// DemoModel builds a small frozen MLP (16 -> 8 -> 4 with an f1∘g2 PAF
-// activation) with seeded random weights, sized for the given ring degree.
-// It stands in for a SMART-PAF-trained network in demos, load experiments
-// and tests; cmd/hennserve can serve a trained model instead.
-func DemoModel(seed int64, logN int) (*Model, error) {
-	rng := rand.New(rand.NewSource(seed))
-	newLinear := func(in, out int) *henn.Linear {
-		l := &henn.Linear{In: in, Out: out, B: make([]float64, out), W: make([][]float64, out)}
-		for i := range l.W {
-			l.W[i] = make([]float64, in)
-			for j := range l.W[i] {
-				l.W[i][j] = rng.NormFloat64() * 0.4
-			}
-			l.B[i] = rng.NormFloat64() * 0.1
-		}
-		return l
-	}
-	mlp := &henn.MLP{Layers: []any{
-		newLinear(16, 8),
-		&henn.Activation{PAF: paf.MustNew(paf.FormF1G2), Scale: 4},
-		newLinear(8, 4),
-	}}
-	lit, err := ParamsForMLP(mlp, logN)
-	if err != nil {
-		return nil, err
-	}
-	return &Model{Name: "demo-mlp-16x8x4", MLP: mlp, Params: lit, InputDim: 16, OutputDim: 4}, nil
 }

@@ -192,8 +192,9 @@ func eligible(sess *session, now time.Time, maxBatch int) bool {
 
 // dispatch serves one scheduler turn for sess: claim jobs, then hand each
 // to the shared pool as a henn.Unit (or fail them all if the session died).
+// The quantum scales with the session's QoS weight under the fair policy.
 func (d *scheduler) dispatch(sess *session) {
-	quantum := d.srv.opts.MaxBatch
+	quantum := d.srv.opts.MaxBatch * sess.weight
 	if d.srv.opts.Policy == PolicyFIFO {
 		quantum = 1 // one fifo entry exists per enqueued job
 	}
@@ -232,12 +233,20 @@ claim:
 		default:
 		}
 		job := job
+		// The unit retains the model stack so a retire that lands while it
+		// executes cannot free the caches under it; the session's own bind
+		// reference does not cover the unit, because the session may be
+		// removed (releasing that reference) while the unit is in flight.
+		sess.dep.Retain()
 		ok := d.pool.Submit(func() {
+			defer sess.dep.Release()
 			d.unitsRun.Add(1)
-			out, err := henn.Unit{Ctx: sess.ctx, MLP: d.srv.model.MLP, CT: job.ct}.Run()
+			sess.dep.AddUnitRun()
+			out, err := henn.Unit{Ctx: sess.ctx, MLP: sess.dep.Model().MLP, CT: job.ct}.Run()
 			job.done <- inferResult{ct: out, err: err}
 		})
 		if !ok {
+			sess.dep.Release()
 			d.abort([]*inferJob{job}, errShuttingDown)
 		}
 	}
@@ -298,31 +307,59 @@ func (d *scheduler) shutdown() {
 	}
 }
 
-// Stats is a point-in-time snapshot of scheduler counters.
-type Stats struct {
-	// Workers is the resolved server-wide worker budget.
-	Workers int
-	// Backlog is how many jobs are queued but not yet dispatched.
-	Backlog int
-	// UnitsRun counts inference units the pool started executing.
-	UnitsRun int64
-	// UnitsAborted counts jobs failed without running (session deleted or
-	// server shutting down).
-	UnitsAborted int64
-	// Quanta counts scheduler turns that claimed at least one job.
-	Quanta int64
-	// PeakInFlight is the high-water mark of concurrently executing units;
-	// it never exceeds Workers.
-	PeakInFlight int
+// ModelStats is the per-model slice of a Stats snapshot, fed by the registry
+// counters and the live session table.
+type ModelStats struct {
+	// Name is the model's registry name.
+	Name string `json:"name"`
+	// Sessions is how many live sessions are bound to the model.
+	Sessions int `json:"sessions"`
+	// Backlog is how many of the model's jobs are queued but not dispatched.
+	Backlog int `json:"backlog"`
+	// UnitsRun counts inference units executed against the model.
+	UnitsRun int64 `json:"unitsRun"`
 }
 
-// Stats reports scheduler counters (the mserve experiment and the
+// Stats is a point-in-time snapshot of scheduler counters, served at
+// GET /v1/stats.
+type Stats struct {
+	// Workers is the resolved server-wide worker budget.
+	Workers int `json:"workers"`
+	// Backlog is how many jobs are queued but not yet dispatched.
+	Backlog int `json:"backlog"`
+	// UnitsRun counts inference units the pool started executing.
+	UnitsRun int64 `json:"unitsRun"`
+	// UnitsAborted counts jobs failed without running (session deleted,
+	// model retired, or server shutting down).
+	UnitsAborted int64 `json:"unitsAborted"`
+	// Quanta counts scheduler turns that claimed at least one job.
+	Quanta int64 `json:"quanta"`
+	// PeakInFlight is the high-water mark of concurrently executing units;
+	// it never exceeds Workers.
+	PeakInFlight int `json:"peakInFlight"`
+	// Models breaks sessions, backlog and executed units down per deployed
+	// model, sorted by name. Retired models drop out of the snapshot.
+	Models []ModelStats `json:"models"`
+}
+
+// Stats reports scheduler counters (the mserve/mmodel experiments and the
 // regression suite read these).
 func (s *Server) Stats() Stats {
+	deployed := s.reg.List()
+	perModel := make([]ModelStats, len(deployed))
+	index := make(map[string]*ModelStats, len(deployed))
+	for i, d := range deployed {
+		perModel[i] = ModelStats{Name: d.Model().Name, UnitsRun: d.UnitsRun()}
+		index[d.Model().Name] = &perModel[i]
+	}
 	backlog := 0
 	s.mu.RLock()
 	for _, sess := range s.sessions {
 		backlog += len(sess.jobs)
+		if ms := index[sess.dep.Model().Name]; ms != nil {
+			ms.Sessions++
+			ms.Backlog += len(sess.jobs)
+		}
 	}
 	s.mu.RUnlock()
 	return Stats{
@@ -332,5 +369,6 @@ func (s *Server) Stats() Stats {
 		UnitsAborted: s.sched.unitsAborted.Load(),
 		Quanta:       s.sched.quanta.Load(),
 		PeakInFlight: s.sched.pool.Peak(),
+		Models:       perModel,
 	}
 }

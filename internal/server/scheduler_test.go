@@ -13,16 +13,17 @@ import (
 	"time"
 
 	"github.com/efficientfhe/smartpaf/internal/ckks"
+	"github.com/efficientfhe/smartpaf/internal/registry"
 )
 
 // newSchedServer builds a server with explicit scheduler options.
-func newSchedServer(t testing.TB, opts Options) (*Server, *httptest.Server) {
+func newSchedServer(t testing.TB, opts Options) (*registry.Model, *Server, *httptest.Server) {
 	t.Helper()
-	model, err := DemoModel(11, testLogN)
+	model, err := registry.DemoModel(11, testLogN)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(model, opts)
+	srv, err := New(opts, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func newSchedServer(t testing.TB, opts Options) (*Server, *httptest.Server) {
 		ts.Close()
 		srv.Close()
 	})
-	return srv, ts
+	return model, srv, ts
 }
 
 // pollStats waits until cond holds on the server's stats (bounded).
@@ -54,7 +55,7 @@ func pollStats(t *testing.T, srv *Server, cond func(Stats) bool, what string) {
 // the one shared worker budget.
 func TestMultiSessionSharedBudget(t *testing.T) {
 	const budget = 2
-	srv, ts := newSchedServer(t, Options{MaxBatch: 4, Workers: budget, QueueDepth: 64})
+	model, srv, ts := newSchedServer(t, Options{MaxBatch: 4, Workers: budget, QueueDepth: 64})
 	ctx := context.Background()
 
 	const sessions = 4
@@ -76,7 +77,7 @@ func TestMultiSessionSharedBudget(t *testing.T) {
 				go func(r int) {
 					defer inner.Done()
 					rng := rand.New(rand.NewSource(int64(si*100 + r)))
-					x := make([]float64, srv.model.InputDim)
+					x := make([]float64, model.InputDim)
 					for i := range x {
 						x[i] = rng.Float64()*2 - 1
 					}
@@ -85,7 +86,7 @@ func TestMultiSessionSharedBudget(t *testing.T) {
 						errCh <- err
 						return
 					}
-					want := srv.model.MLP.InferPlain(x)[:srv.model.OutputDim]
+					want := model.MLP.InferPlain(x)[:model.OutputDim]
 					for i := range want {
 						if d := got[i] - want[i]; d > 1e-3 || d < -1e-3 {
 							t.Errorf("session %d req %d logit %d: %g vs %g", si, r, i, got[i], want[i])
@@ -128,7 +129,7 @@ func TestMultiSessionSharedBudget(t *testing.T) {
 // timing luck.
 func floodThenVictim(t *testing.T, policy string) time.Duration {
 	t.Helper()
-	srv, ts := newSchedServer(t, Options{MaxBatch: 2, Workers: 1, Policy: policy, QueueDepth: 64})
+	model, srv, ts := newSchedServer(t, Options{MaxBatch: 2, Workers: 1, Policy: policy, QueueDepth: 64})
 	ctx := context.Background()
 	a, err := NewClient(ts.URL, nil).NewSession(ctx, 21)
 	if err != nil {
@@ -138,7 +139,7 @@ func floodThenVictim(t *testing.T, policy string) time.Duration {
 	if err != nil {
 		t.Fatal(err)
 	}
-	x := make([]float64, srv.model.InputDim)
+	x := make([]float64, model.InputDim)
 	for i := range x {
 		x[i] = float64(i%5)/5 - 0.4
 	}
@@ -197,13 +198,13 @@ func TestFIFOPolicyStarvesVictim(t *testing.T) {
 // immediately — the old per-session batcher lingered the full window and
 // then ran paid inference for the dead session.
 func TestDeadSessionJobsNeverRun(t *testing.T) {
-	srv, ts := newSchedServer(t, Options{BatchWindow: time.Minute, Workers: 1})
+	model, srv, ts := newSchedServer(t, Options{BatchWindow: time.Minute, Workers: 1})
 	ctx := context.Background()
 	sess, err := NewClient(ts.URL, nil).NewSession(ctx, 77)
 	if err != nil {
 		t.Fatal(err)
 	}
-	x := make([]float64, srv.model.InputDim)
+	x := make([]float64, model.InputDim)
 	start := time.Now()
 	inferErr := make(chan error, 1)
 	go func() {
@@ -238,7 +239,7 @@ func TestDeadSessionJobsNeverRun(t *testing.T) {
 // ModelInfo.Levels succeeds end-to-end (one inference consumes exactly that
 // many levels), one below is rejected at the boundary.
 func TestInferLevelBoundary(t *testing.T) {
-	srv, ts := newSchedServer(t, Options{})
+	model, _, ts := newSchedServer(t, Options{})
 	ctx := context.Background()
 	sess, err := NewClient(ts.URL, nil).NewSession(ctx, 31)
 	if err != nil {
@@ -249,7 +250,7 @@ func TestInferLevelBoundary(t *testing.T) {
 	for i := range x {
 		x[i] = float64(i%3)/3 - 0.3
 	}
-	want := srv.model.MLP.InferPlain(x)[:info.OutputDim]
+	want := model.MLP.InferPlain(x)[:info.OutputDim]
 
 	encryptAt := func(level int) *ckks.Ciphertext {
 		vec := make([]float64, sess.params.Slots())
@@ -284,13 +285,13 @@ func TestInferLevelBoundary(t *testing.T) {
 // at level 0 — and server.New must accept it (regression: it demanded one
 // spare level and rejected such models).
 func TestServerAcceptsMinimumChain(t *testing.T) {
-	model, err := DemoModel(11, testLogN)
+	model, err := registry.DemoModel(11, testLogN)
 	if err != nil {
 		t.Fatal(err)
 	}
 	need := model.MLP.LevelsRequired()
 	model.Params.LogQ = model.Params.LogQ[:need+1] // MaxLevel == need exactly
-	srv, err := New(model, Options{})
+	srv, err := New(Options{}, model)
 	if err != nil {
 		t.Fatalf("minimum viable chain rejected: %v", err)
 	}
@@ -323,13 +324,13 @@ func TestServerAcceptsMinimumChain(t *testing.T) {
 // TestOversizedBodies413: blowing the body cap is 413 Request Entity Too
 // Large on both the infer and register endpoints, not a generic 400.
 func TestOversizedBodies413(t *testing.T) {
-	srv, ts := newSchedServer(t, Options{})
+	_, srv, ts := newSchedServer(t, Options{})
 	ctx := context.Background()
 	sess, err := NewClient(ts.URL, nil).NewSession(ctx, 61)
 	if err != nil {
 		t.Fatal(err)
 	}
-	huge := make([]byte, srv.maxCiphertextBytes()+1024)
+	huge := make([]byte, maxCiphertextBytes(srv.reg.List()[0].Params())+1024)
 	resp, err := http.Post(ts.URL+"/v1/sessions/"+sess.ID()+"/infer", "application/octet-stream", bytes.NewReader(huge))
 	if err != nil {
 		t.Fatal(err)
@@ -341,7 +342,7 @@ func TestOversizedBodies413(t *testing.T) {
 
 	// Valid JSON that only blows the limit mid-stream, so the 413 cannot be
 	// shadowed by a syntax 400.
-	_, tsSmall := newSchedServer(t, Options{MaxBodyBytes: 1 << 16})
+	_, _, tsSmall := newSchedServer(t, Options{MaxBodyBytes: 1 << 16})
 	big := []byte(`{"params":"` + strings.Repeat("A", 1<<17) + `"}`)
 	resp, err = http.Post(tsSmall.URL+"/v1/sessions", "application/json", bytes.NewReader(big))
 	if err != nil {
@@ -355,11 +356,11 @@ func TestOversizedBodies413(t *testing.T) {
 
 // TestUnknownPolicyRejected: Options.Policy is validated at construction.
 func TestUnknownPolicyRejected(t *testing.T) {
-	model, err := DemoModel(11, testLogN)
+	model, err := registry.DemoModel(11, testLogN)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(model, Options{Policy: "lifo"}); err == nil {
+	if _, err := New(Options{Policy: "lifo"}, model); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
 }
@@ -370,11 +371,15 @@ func TestUnknownPolicyRejected(t *testing.T) {
 // just once per turn (regression: a dead session's whole claimed batch ran
 // as paid inference while Submit blocked on the rendezvous pool).
 func TestSessionDeletedMidBatch(t *testing.T) {
-	model, err := DemoModel(11, 9) // logN 9: ~100ms units, a wide delete window
+	model, err := registry.DemoModel(11, 9) // logN 9: ~100ms units, a wide delete window
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(model, Options{MaxBatch: 16, Workers: 1, QueueDepth: 16})
+	// The batch window lets the whole burst enqueue before the first turn
+	// claims it, so the delete reliably lands mid-quantum: without it, a
+	// slow-to-arrive burst can straggle in after the delete (404, nothing
+	// claimed, nothing to abort) and the test flakes.
+	srv, err := New(Options{MaxBatch: 16, Workers: 1, QueueDepth: 16, BatchWindow: 2 * time.Second}, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,30 +396,39 @@ func TestSessionDeletedMidBatch(t *testing.T) {
 	x := make([]float64, model.InputDim)
 	const burst = 8
 	var wg sync.WaitGroup
-	var closedErrs atomic.Int64
+	var closedErrs, lateErrs atomic.Int64
 	for r := 0; r < burst; r++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			if _, err := sess.Infer(ctx, x); err != nil {
-				if strings.Contains(err.Error(), "session closed") {
+				switch {
+				case strings.Contains(err.Error(), "session closed"):
 					closedErrs.Add(1)
-				} else {
+				case strings.Contains(err.Error(), "unknown session"):
+					// Sent after the delete removed the session: 404, never
+					// enqueued, so it cannot settle as run or aborted.
+					lateErrs.Add(1)
+				default:
 					t.Error(err)
 				}
 			}
 		}()
 	}
-	// Delete as soon as the first unit starts: the rest of the claimed
-	// quantum is still queued behind the single worker.
+	// Wait for the full burst to queue (the batch window holds the first
+	// turn), then delete as soon as the first unit starts: the rest of the
+	// claimed quantum is still queued behind the single worker.
+	pollStats(t, srv, func(st Stats) bool { return st.Backlog == burst }, "queued burst")
 	pollStats(t, srv, func(st Stats) bool { return st.UnitsRun >= 1 }, "first unit")
 	if err := sess.Close(ctx); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
 	// Handlers answer 410 off sess.done before the dispatcher finishes
-	// aborting its claimed batch; wait for every job to be accounted for.
-	pollStats(t, srv, func(st Stats) bool { return st.UnitsRun+st.UnitsAborted == burst }, "job settlement")
+	// aborting its claimed batch; wait for every enqueued job to be
+	// accounted for (late requests 404ed and never enqueued).
+	enqueued := burst - int(lateErrs.Load())
+	pollStats(t, srv, func(st Stats) bool { return int(st.UnitsRun+st.UnitsAborted) == enqueued }, "job settlement")
 	st := srv.Stats()
 	// At most the unit already running plus the one submit in flight may
 	// still execute; the rest of the claimed quantum must be aborted.

@@ -14,22 +14,28 @@ import (
 
 	"github.com/efficientfhe/smartpaf/internal/ckks"
 	"github.com/efficientfhe/smartpaf/internal/henn"
+	"github.com/efficientfhe/smartpaf/internal/registry"
 )
+
+// maxSessionWeight caps the QoS weight a single session can carry, so a
+// misconfigured Weight hook cannot hand one session an effectively unbounded
+// quantum.
+const maxSessionWeight = 64
 
 // Options tune the serving front end. The zero value is usable.
 type Options struct {
 	// MaxBatch is the fair-scheduling quantum: how many queued jobs one
-	// scheduler turn claims from a session before the next session is
-	// served. Default 16.
+	// scheduler turn claims from a weight-1 session before the next session
+	// is served (a weight-w session claims up to w×MaxBatch). Default 16.
 	MaxBatch int
 	// Workers is the server-wide inference worker budget shared by every
-	// session, following the repo-wide convention: 0 or 1 runs one worker,
-	// negative uses all cores. The number of concurrently executing
-	// inference units is bounded by this one budget no matter how many
-	// sessions are active (serving deployments want -1; cmd/hennserve
-	// defaults to it). Within a unit, the ring substrate's limb fan-out
-	// still follows the process-wide GOMAXPROCS/ring.SetParallelism
-	// setting — Workers counts units, not goroutines.
+	// session of every model, following the repo-wide convention: 0 or 1
+	// runs one worker, negative uses all cores. The number of concurrently
+	// executing inference units is bounded by this one budget no matter how
+	// many sessions or models are active (serving deployments want -1;
+	// cmd/hennserve defaults to it). Within a unit, the ring substrate's
+	// limb fan-out still follows the process-wide GOMAXPROCS/
+	// ring.SetParallelism setting — Workers counts units, not goroutines.
 	Workers int
 	// BatchWindow is how long a newly active session waits before its first
 	// scheduler turn, letting a quantum fill (a full quantum, session
@@ -40,14 +46,23 @@ type Options struct {
 	// Policy picks the cross-session scheduling policy: PolicyFair
 	// (default) or PolicyFIFO (the no-fairness baseline).
 	Policy string
-	// MaxSessions caps live sessions. Default 64.
+	// Weight assigns a QoS weight to a newly registered session, called
+	// with the registration request so deployments can key off a header or
+	// client identity. The fair policy's quantum scales with the weight: a
+	// weight-w session claims up to w×MaxBatch jobs per turn, so paying
+	// tiers drain backlogs proportionally faster while round-robin turns
+	// still guarantee every weight-1 session a quantum per cycle (no
+	// starvation). Results are clamped to [1, 64]; nil gives every session
+	// weight 1. PolicyFIFO ignores weights.
+	Weight func(r *http.Request) int
+	// MaxSessions caps live sessions across all models. Default 64.
 	MaxSessions int
 	// SessionTTL evicts sessions idle for longer than this, so abandoned
 	// registrations cannot pin key material (or lock out new sessions)
 	// forever. Negative disables eviction. Default 30 minutes.
 	SessionTTL time.Duration
-	// MaxBodyBytes caps request bodies (rotation-key sets dominate).
-	// Default 1 GiB.
+	// MaxBodyBytes caps request bodies (rotation-key sets and model-deploy
+	// bundles dominate). Default 1 GiB.
 	MaxBodyBytes int64
 	// QueueDepth is the per-session request queue. Default 1024.
 	QueueDepth int
@@ -75,19 +90,17 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server multiplexes encrypted-inference sessions onto one shared model.
-// The henn/ckks stack is safe for concurrent use, so every session shares
-// the server's compiled parameters and encoder; each session owns only the
-// evaluator bound to its client's evaluation keys. All sessions' jobs flow
-// through one scheduler and one bounded worker pool (see scheduler.go).
+// Server multiplexes encrypted-inference sessions onto the deployed models
+// of a registry. The henn/ckks stack is safe for concurrent use, so every
+// session of a model shares that model's compiled parameters and encoder;
+// each session owns only the evaluator bound to its client's evaluation
+// keys. All sessions' jobs — across every model — flow through one scheduler
+// and one bounded worker pool (see scheduler.go): the unit of work carries
+// its session's context, so a single worker budget serves the whole catalog.
 type Server struct {
-	model      *Model
-	params     *ckks.Parameters
-	enc        *ckks.Encoder
-	info       ModelInfo
-	paramBytes []byte // canonical literal encoding sessions must match
-	opts       Options
-	sched      *scheduler
+	reg   *registry.Registry
+	opts  Options
+	sched *scheduler
 
 	mu       sync.RWMutex
 	sessions map[string]*session
@@ -97,11 +110,17 @@ type Server struct {
 
 type session struct {
 	id string
+	// dep is the model stack this session is bound to; the session holds
+	// one registry reference from registration until removal.
+	dep *registry.Deployed
 	// ctx carries the evaluator bound to this client's evaluation keys.
-	ctx  *henn.Context
-	jobs chan *inferJob
-	// done is closed when the session is deleted or evicted; the scheduler
-	// fails its queued jobs and waiting handlers turn it into a 410.
+	ctx *henn.Context
+	// weight scales the fair policy's quantum for this session.
+	weight int
+	jobs   chan *inferJob
+	// done is closed when the session is deleted, evicted, or its model is
+	// retired; the scheduler fails its queued jobs and waiting handlers
+	// turn it into a 410.
 	done chan struct{}
 	// lastUsed is the unix-nano timestamp of the latest request, read by
 	// the TTL janitor.
@@ -125,44 +144,23 @@ type inferResult struct {
 	err error
 }
 
-// New compiles the model's parameters and returns a ready server.
-func New(model *Model, opts Options) (*Server, error) {
-	params, err := ckks.NewParameters(model.Params)
-	if err != nil {
-		return nil, fmt.Errorf("server: compiling model parameters: %w", err)
-	}
-	// One inference consumes exactly LevelsRequired levels (input at level
-	// L finishes at L−LevelsRequired ≥ 0), so a chain whose MaxLevel equals
-	// LevelsRequired is the true minimum — demanding more rejects viable
-	// parameter sets.
-	if need := model.MLP.LevelsRequired(); params.MaxLevel() < need {
-		return nil, fmt.Errorf("server: parameters support %d levels, model needs %d", params.MaxLevel(), need)
-	}
-	paramBytes, err := model.Params.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
+// New builds a server and deploys the given models into its registry. A
+// server may start with no models and have them hot-deployed over HTTP.
+func New(opts Options, models ...*registry.Model) (*Server, error) {
 	opts = opts.withDefaults()
 	if opts.Policy != PolicyFair && opts.Policy != PolicyFIFO {
 		return nil, fmt.Errorf("server: unknown scheduling policy %q (want %q or %q)", opts.Policy, PolicyFair, PolicyFIFO)
 	}
 	s := &Server{
-		model:      model,
-		params:     params,
-		enc:        ckks.NewEncoder(params),
-		paramBytes: paramBytes,
-		opts:       opts,
-		sessions:   map[string]*session{},
-		closed:     make(chan struct{}),
+		reg:      registry.New(),
+		opts:     opts,
+		sessions: map[string]*session{},
+		closed:   make(chan struct{}),
 	}
-	s.info = ModelInfo{
-		Name:      model.Name,
-		InputDim:  model.InputDim,
-		OutputDim: model.OutputDim,
-		Levels:    model.MLP.LevelsRequired(),
-		Slots:     params.Slots(),
-		Params:    paramBytes,
-		Rotations: model.MLP.RequiredRotations(params.Slots()),
+	for _, m := range models {
+		if _, err := s.reg.Deploy(m); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
 	}
 	s.sched = newScheduler(s)
 	s.wg.Add(1)
@@ -173,6 +171,11 @@ func New(model *Model, opts Options) (*Server, error) {
 	}
 	return s, nil
 }
+
+// Registry exposes the model catalog (deploy/retire programmatically, read
+// counters). cmd/hennserve and tests use it; HTTP clients go through the
+// /v1/models endpoints.
+func (s *Server) Registry() *registry.Registry { return s.reg }
 
 // janitor evicts sessions whose last request is older than SessionTTL.
 func (s *Server) janitor() {
@@ -198,6 +201,7 @@ func (s *Server) janitor() {
 		s.mu.Unlock()
 		for _, sess := range evicted {
 			s.sched.sessionClosed(sess)
+			sess.dep.Release()
 		}
 	}
 }
@@ -213,12 +217,35 @@ func (s *Server) removeSession(id string) bool {
 	s.mu.Unlock()
 	if ok {
 		s.sched.sessionClosed(sess)
+		sess.dep.Release()
 	}
 	return ok
 }
 
-// Info returns the model description served at /v1/model.
-func (s *Server) Info() ModelInfo { return s.info }
+// retireModel removes the model from the catalog and closes every session
+// bound to it: queued jobs fail 410, in-flight units finish, and the stack
+// is freed once the last reference drains.
+func (s *Server) retireModel(name string) error {
+	dep, err := s.reg.Retire(name)
+	if err != nil {
+		return err
+	}
+	var bound []*session
+	s.mu.Lock()
+	for id, sess := range s.sessions {
+		if sess.dep == dep {
+			delete(s.sessions, id)
+			close(sess.done)
+			bound = append(bound, sess)
+		}
+	}
+	s.mu.Unlock()
+	for _, sess := range bound {
+		s.sched.sessionClosed(sess)
+		sess.dep.Release()
+	}
+	return nil
+}
 
 // Close stops the scheduler, fails queued requests and drains the worker
 // pool.
@@ -238,6 +265,11 @@ func (s *Server) Close() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/models/{name}", s.handleModelNamed)
+	mux.HandleFunc("POST /v1/models", s.handleDeploy)
+	mux.HandleFunc("DELETE /v1/models/{name}", s.handleRetire)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/sessions", s.handleRegister)
 	mux.HandleFunc("POST /v1/sessions/{id}/infer", s.handleInfer)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
@@ -262,13 +294,84 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// handleModel is the single-model convenience route: useful while exactly
+// one model is deployed, a pointer to /v1/models otherwise.
 func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.info)
+	list := s.reg.List()
+	switch len(list) {
+	case 0:
+		writeError(w, http.StatusNotFound, "no models deployed")
+	case 1:
+		writeJSON(w, http.StatusOK, infoFor(list[0]))
+	default:
+		writeError(w, http.StatusConflict,
+			"%d models deployed; list them at GET /v1/models and name one", len(list))
+	}
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	list := s.reg.List()
+	infos := make([]ModelInfo, len(list))
+	for i, d := range list {
+		infos[i] = infoFor(d)
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleModelNamed(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.reg.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, infoFor(d))
+}
+
+// handleDeploy hot-deploys a marshaled registry.Model bundle.
+func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "model bundle exceeds the %d-byte body limit", mbe.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading model bundle: %v", err)
+		return
+	}
+	m := new(registry.Model)
+	if err := m.UnmarshalBinary(data); err != nil {
+		writeError(w, http.StatusBadRequest, "model bundle: %v", err)
+		return
+	}
+	d, err := s.reg.Deploy(m)
+	if err != nil {
+		if errors.Is(err, registry.ErrExists) {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "deploy: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoFor(d))
+}
+
+func (s *Server) handleRetire(w http.ResponseWriter, r *http.Request) {
+	if err := s.retireModel(r.PathValue("name")); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 // registerRequest carries the public key material of a new session over the
-// internal/ckks binary wire format.
+// internal/ckks binary wire format, plus the name of the model to bind to.
 type registerRequest struct {
+	Model        string `json:"model"`
 	Params       []byte `json:"params"`
 	PublicKey    []byte `json:"publicKey"`
 	RelinKey     []byte `json:"relinKey"`
@@ -277,6 +380,30 @@ type registerRequest struct {
 
 type registerResponse struct {
 	SessionID string `json:"sessionID"`
+	Model     string `json:"model"`
+	Weight    int    `json:"weight"`
+}
+
+// resolveModel picks the deployment a registration binds to. An empty name
+// is allowed only while exactly one model is deployed.
+func (s *Server) resolveModel(name string) (*registry.Deployed, int, string) {
+	if name == "" {
+		list := s.reg.List()
+		switch len(list) {
+		case 0:
+			return nil, http.StatusNotFound, "no models deployed"
+		case 1:
+			return list[0], 0, ""
+		default:
+			return nil, http.StatusBadRequest,
+				fmt.Sprintf("%d models deployed; name one (GET /v1/models)", len(list))
+		}
+	}
+	d, ok := s.reg.Get(name)
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Sprintf("unknown model %q", name)
+	}
+	return d, 0, ""
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -291,9 +418,16 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding registration: %v", err)
 		return
 	}
-	if string(req.Params) != string(s.paramBytes) {
+	dep, status, msg := s.resolveModel(req.Model)
+	if dep == nil {
+		writeError(w, status, "%s", msg)
+		return
+	}
+	params := dep.Params()
+	if string(req.Params) != string(dep.ParamBytes()) {
 		writeError(w, http.StatusBadRequest,
-			"session parameters do not match the model's prescribed literal; fetch GET /v1/model")
+			"session parameters do not match model %q's prescribed literal; fetch GET /v1/models/%s",
+			dep.Model().Name, dep.Model().Name)
 		return
 	}
 	// The public key is part of the registration payload (future server-side
@@ -304,7 +438,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "public key: %v", err)
 		return
 	}
-	if pk.B.Level() != s.params.MaxLevel() || len(pk.B.Coeffs[0]) != s.params.N() {
+	if pk.B.Level() != params.MaxLevel() || len(pk.B.Coeffs[0]) != params.N() {
 		writeError(w, http.StatusBadRequest, "public key was built for different parameters")
 		return
 	}
@@ -313,7 +447,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "relinearization key: %v", err)
 		return
 	}
-	if err := s.checkDigits(rlk.Digits); err != nil {
+	if err := checkDigits(params, rlk.Digits); err != nil {
 		writeError(w, http.StatusBadRequest, "relinearization key: %v", err)
 		return
 	}
@@ -328,7 +462,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	// must be shaped for the model's parameters, or a hostile upload
 	// becomes a panic at inference time instead of a 400 here.
 	required := map[int]bool{}
-	for _, step := range s.info.Rotations {
+	for _, step := range dep.Rotations() {
 		required[step] = true
 	}
 	have := map[int]bool{}
@@ -338,7 +472,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		key, _ := rks.Key(step)
-		if err := s.checkDigits(key.Digits); err != nil {
+		if err := checkDigits(params, key.Digits); err != nil {
 			writeError(w, http.StatusBadRequest, "rotation key for step %d: %v", step, err)
 			return
 		}
@@ -348,22 +482,35 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "the model does not use conjugation; drop the conjugation key")
 		return
 	}
-	for _, step := range s.info.Rotations {
+	for _, step := range dep.Rotations() {
 		if !have[step] {
 			writeError(w, http.StatusBadRequest, "rotation keys missing required step %d", step)
 			return
 		}
 	}
 
-	eval := ckks.NewEvaluator(s.params, rlk).WithRotationKeys(rks)
+	weight := 1
+	if s.opts.Weight != nil {
+		weight = min(max(s.opts.Weight(r), 1), maxSessionWeight)
+	}
+	// Bind after all validation: a racing retire fails here with a clean
+	// 410 instead of binding a session to a stack being torn down.
+	if err := dep.Bind(); err != nil {
+		writeError(w, http.StatusGone, "model %q retired", dep.Model().Name)
+		return
+	}
+	eval := ckks.NewEvaluator(params, rlk).WithRotationKeys(rks)
 	sess := &session{
-		ctx:  henn.NewContext(s.params, s.enc, eval),
-		jobs: make(chan *inferJob, s.opts.QueueDepth),
-		done: make(chan struct{}),
+		dep:    dep,
+		ctx:    henn.NewContext(params, dep.Encoder(), eval),
+		weight: weight,
+		jobs:   make(chan *inferJob, s.opts.QueueDepth),
+		done:   make(chan struct{}),
 	}
 	sess.touch()
 	idBytes := make([]byte, 16)
 	if _, err := rand.Read(idBytes); err != nil {
+		dep.Release()
 		writeError(w, http.StatusInternalServerError, "session id: %v", err)
 		return
 	}
@@ -373,34 +520,48 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-s.closed:
 		s.mu.Unlock()
+		dep.Release()
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	default:
 	}
 	if len(s.sessions) >= s.opts.MaxSessions {
 		s.mu.Unlock()
+		dep.Release()
 		writeError(w, http.StatusTooManyRequests, "session limit (%d) reached", s.opts.MaxSessions)
 		return
 	}
 	s.sessions[sess.id] = sess
 	s.mu.Unlock()
 
-	writeJSON(w, http.StatusOK, registerResponse{SessionID: sess.id})
+	// A retire can land between Bind and the insert above: its session
+	// sweep snapshots s.sessions and misses this one, which would leave a
+	// live session serving a retired model forever. Re-checking after the
+	// insert closes the window — either the sweep saw the session (then
+	// removeSession finds it already gone), or we tear it down here; the
+	// map removal makes the close/release exactly-once either way.
+	if dep.Retired() {
+		s.removeSession(sess.id)
+		writeError(w, http.StatusGone, "model %q retired", dep.Model().Name)
+		return
+	}
+
+	writeJSON(w, http.StatusOK, registerResponse{SessionID: sess.id, Model: dep.Model().Name, Weight: weight})
 }
 
 // checkDigits rejects key material that deserialized cleanly but was built
 // for different parameters than the model prescribes.
-func (s *Server) checkDigits(digits []ckks.EvaluationKeyDigit) error {
-	if got, want := len(digits), s.params.MaxLevel()+1; got != want {
+func checkDigits(params *ckks.Parameters, digits []ckks.EvaluationKeyDigit) error {
+	if got, want := len(digits), params.MaxLevel()+1; got != want {
 		return fmt.Errorf("%d gadget digits, parameters need %d", got, want)
 	}
 	for i := range digits {
 		d := &digits[i]
-		if d.BQ.Level() != s.params.MaxLevel() || d.BP.Level() != 0 {
-			return fmt.Errorf("digit %d has %d/%d limbs, want %d/1", i, d.BQ.Level()+1, d.BP.Level()+1, s.params.MaxLevel()+1)
+		if d.BQ.Level() != params.MaxLevel() || d.BP.Level() != 0 {
+			return fmt.Errorf("digit %d has %d/%d limbs, want %d/1", i, d.BQ.Level()+1, d.BP.Level()+1, params.MaxLevel()+1)
 		}
-		if n := len(d.BQ.Coeffs[0]); n != s.params.N() {
-			return fmt.Errorf("digit %d has ring degree %d, parameters use %d", i, n, s.params.N())
+		if n := len(d.BQ.Coeffs[0]); n != params.N() {
+			return fmt.Errorf("digit %d has ring degree %d, parameters use %d", i, n, params.N())
 		}
 	}
 	return nil
@@ -413,12 +574,12 @@ func (s *Server) lookup(id string) *session {
 }
 
 // maxCiphertextBytes is the exact wire size of a ciphertext under the
-// server's parameters (header + two full-chain polys) with slack for the
+// model's parameters (header + two full-chain polys) with slack for the
 // poly headers. The infer endpoint caps bodies here rather than at the
 // key-upload limit, so a hostile client cannot pin a key-sized buffer per
 // request.
-func (s *Server) maxCiphertextBytes() int64 {
-	polyBytes := int64(8) + int64(s.params.MaxLevel()+1)*int64(s.params.N())*8
+func maxCiphertextBytes(params *ckks.Parameters) int64 {
+	polyBytes := int64(8) + int64(params.MaxLevel()+1)*int64(params.N())*8
 	return 64 + 2*polyBytes
 }
 
@@ -428,7 +589,8 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown session")
 		return
 	}
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, min(s.maxCiphertextBytes(), s.opts.MaxBodyBytes)))
+	params := sess.dep.Params()
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, min(maxCiphertextBytes(params), s.opts.MaxBodyBytes)))
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
@@ -443,16 +605,16 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "ciphertext: %v", err)
 		return
 	}
-	if n := len(ct.C0.Coeffs[0]); n != s.params.N() {
-		writeError(w, http.StatusBadRequest, "ciphertext ring degree %d, parameters use %d", n, s.params.N())
+	if n := len(ct.C0.Coeffs[0]); n != params.N() {
+		writeError(w, http.StatusBadRequest, "ciphertext ring degree %d, parameters use %d", n, params.N())
 		return
 	}
-	if ct.Level > s.params.MaxLevel() {
-		writeError(w, http.StatusBadRequest, "ciphertext level %d exceeds max %d", ct.Level, s.params.MaxLevel())
+	if ct.Level > params.MaxLevel() {
+		writeError(w, http.StatusBadRequest, "ciphertext level %d exceeds max %d", ct.Level, params.MaxLevel())
 		return
 	}
-	if ct.Level < s.info.Levels {
-		writeError(w, http.StatusBadRequest, "ciphertext level %d below the %d the model consumes", ct.Level, s.info.Levels)
+	if ct.Level < sess.dep.Levels() {
+		writeError(w, http.StatusBadRequest, "ciphertext level %d below the %d the model consumes", ct.Level, sess.dep.Levels())
 		return
 	}
 

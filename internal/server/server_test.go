@@ -11,19 +11,20 @@ import (
 	"testing"
 
 	"github.com/efficientfhe/smartpaf/internal/ckks"
+	"github.com/efficientfhe/smartpaf/internal/registry"
 )
 
 // testLogN keeps the ring small (insecure but structurally identical) so the
 // register -> infer round trip stays fast under the race detector.
 const testLogN = 8
 
-func newTestServer(t testing.TB) (*Server, *httptest.Server) {
+func newTestServer(t testing.TB) (*registry.Model, *Server, *httptest.Server) {
 	t.Helper()
-	model, err := DemoModel(11, testLogN)
+	model, err := registry.DemoModel(11, testLogN)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(model, Options{MaxBatch: 8, Workers: -1})
+	srv, err := New(Options{MaxBatch: 8, Workers: -1}, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func newTestServer(t testing.TB) (*Server, *httptest.Server) {
 		ts.Close()
 		srv.Close()
 	})
-	return srv, ts
+	return model, srv, ts
 }
 
 func argmax(v []float64) int {
@@ -50,7 +51,7 @@ func argmax(v []float64) int {
 // ships an encrypted input and decrypts a prediction that matches the
 // plaintext reference inference.
 func TestRegisterInferDecrypt(t *testing.T) {
-	srv, ts := newTestServer(t)
+	model, _, ts := newTestServer(t)
 	ctx := context.Background()
 
 	sess, err := NewClient(ts.URL, nil).NewSession(ctx, 99)
@@ -59,7 +60,7 @@ func TestRegisterInferDecrypt(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(5))
 	for trial := 0; trial < 3; trial++ {
-		x := make([]float64, srv.model.InputDim)
+		x := make([]float64, model.InputDim)
 		for i := range x {
 			x[i] = rng.Float64()*2 - 1
 		}
@@ -67,7 +68,7 @@ func TestRegisterInferDecrypt(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want := srv.model.MLP.InferPlain(x)[:srv.model.OutputDim]
+		want := model.MLP.InferPlain(x)[:model.OutputDim]
 		if len(got) != len(want) {
 			t.Fatalf("got %d logits, want %d", len(got), len(want))
 		}
@@ -86,7 +87,7 @@ func TestRegisterInferDecrypt(t *testing.T) {
 // the batcher must coalesce requests and every client must get its own
 // correct result back (results are order-sensitive: each input is distinct).
 func TestConcurrentClientsBatch(t *testing.T) {
-	srv, ts := newTestServer(t)
+	model, _, ts := newTestServer(t)
 	ctx := context.Background()
 
 	sess, err := NewClient(ts.URL, nil).NewSession(ctx, 1234)
@@ -101,7 +102,7 @@ func TestConcurrentClientsBatch(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(c)))
-			x := make([]float64, srv.model.InputDim)
+			x := make([]float64, model.InputDim)
 			for i := range x {
 				x[i] = rng.Float64()*2 - 1
 			}
@@ -110,7 +111,7 @@ func TestConcurrentClientsBatch(t *testing.T) {
 				errs <- err
 				return
 			}
-			want := srv.model.MLP.InferPlain(x)[:srv.model.OutputDim]
+			want := model.MLP.InferPlain(x)[:model.OutputDim]
 			for i := range want {
 				if d := got[i] - want[i]; d > 1e-3 || d < -1e-3 {
 					t.Errorf("client %d logit %d: encrypted %g vs plain %g", c, i, got[i], want[i])
@@ -129,7 +130,7 @@ func TestConcurrentClientsBatch(t *testing.T) {
 // TestRegisterRejectsBadMaterial covers the wire-hardening paths: wrong
 // parameters, truncated keys and missing rotation steps must all 400.
 func TestRegisterRejectsBadMaterial(t *testing.T) {
-	_, ts := newTestServer(t)
+	_, _, ts := newTestServer(t)
 	post := func(req registerRequest) *http.Response {
 		payload, err := json.Marshal(req)
 		if err != nil {
@@ -189,8 +190,8 @@ func TestRegisterRejectsBadMaterial(t *testing.T) {
 // TestRegisterRejectsExtraRotationKeys: the server prescribes the step set
 // exactly; sessions may not pin key material the model never uses.
 func TestRegisterRejectsExtraRotationKeys(t *testing.T) {
-	srv, ts := newTestServer(t)
-	info := srv.Info()
+	_, srv, ts := newTestServer(t)
+	info := infoFor(srv.reg.List()[0])
 	var lit ckks.ParametersLiteral
 	if err := lit.UnmarshalBinary(info.Params); err != nil {
 		t.Fatal(err)
@@ -231,7 +232,7 @@ func TestRegisterRejectsExtraRotationKeys(t *testing.T) {
 // TestSessionDelete covers the lifecycle endpoint: a closed session 404s
 // further inference and can be re-registered.
 func TestSessionDelete(t *testing.T) {
-	srv, ts := newTestServer(t)
+	model, _, ts := newTestServer(t)
 	ctx := context.Background()
 	sess, err := NewClient(ts.URL, nil).NewSession(ctx, 55)
 	if err != nil {
@@ -243,7 +244,7 @@ func TestSessionDelete(t *testing.T) {
 	if err := sess.Close(ctx); err == nil {
 		t.Fatal("double delete should fail")
 	}
-	x := make([]float64, srv.model.InputDim)
+	x := make([]float64, model.InputDim)
 	if _, err := sess.Infer(ctx, x); err == nil {
 		t.Fatal("inference on a deleted session should fail")
 	}
@@ -254,7 +255,7 @@ func TestSessionDelete(t *testing.T) {
 
 // TestInferUnknownSessionAndHostileCiphertext covers the infer-path guards.
 func TestInferUnknownSessionAndHostileCiphertext(t *testing.T) {
-	_, ts := newTestServer(t)
+	_, _, ts := newTestServer(t)
 	resp, err := http.Post(ts.URL+"/v1/sessions/nope/infer", "application/octet-stream", bytes.NewReader([]byte{1}))
 	if err != nil {
 		t.Fatal(err)
