@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-fast bench fuzz clean-testcache serve-demo
+.PHONY: all build vet fmt-check test test-fast bench fuzz clean-testcache serve-demo upgrade-demo
 
 all: test
 
@@ -16,6 +16,9 @@ fmt-check:
 
 # Clear the cache before the suite (lattigo idiom) so the race detector
 # really re-runs every package, then gofmt gate + vet + full race suite.
+# The suite includes the serving lifecycle e2e: the restart round trip
+# (internal/server TestRestartRoundTrip) and the live v1→v2 rollout
+# (internal/experiments TestUpgradeRolloutEndToEnd) both run under -race.
 test: clean-testcache fmt-check vet
 	$(GO) test -race ./...
 
@@ -40,6 +43,13 @@ bench-smoke:
 # inputs and checks them against the plaintext reference.
 serve-demo:
 	$(GO) run ./examples/remote_mlp
+
+# Live model upgrade end to end: a v1→v2 supersede under concurrent
+# encrypted traffic (old sessions finish on v1, new ones bind v2, zero
+# failed requests), drain verification, and a restart that rebuilds the
+# catalog from the state directory.
+upgrade-demo:
+	$(GO) run ./cmd/experiments -id upgrade
 
 # Short fuzz pass over the modular-arithmetic primitives (one target per
 # invocation is a `go test` restriction).

@@ -14,6 +14,16 @@
 //	hennserve -models ./deployed            # every *.hemodel bundle in a dir
 //	hennserve -train -demo alpha -export ./deployed   # save bundles, then serve
 //	hennserve -addr :9000 -logn 12 -batch 32 -workers -1 -policy fair
+//	hennserve -state ./state -admin-token s3cret      # durable versioned catalog
+//
+// With -state, every deployed bundle (startup and hot-deployed alike)
+// persists as <name>@<version>.hemodel and a restarted server reloads the
+// exact catalog — versions included — before serving; a first start with an
+// empty state directory and no model flags begins with an empty catalog and
+// has models hot-deployed over HTTP. With -admin-token, the deploy/retire
+// endpoints demand "Authorization: Bearer <token>". A model upgrade is
+// POST /v1/models?supersede=true: the new version serves new sessions while
+// the old one drains behind it.
 //
 // SIGINT/SIGTERM drain gracefully: the HTTP listener stops accepting, in-
 // flight inferences finish, then the scheduler and worker pool shut down.
@@ -57,6 +67,9 @@ func main() {
 		policy    = flag.String("policy", server.PolicyFair, "cross-session scheduling policy: fair (round-robin quanta) or fifo (arrival order)")
 		ttl       = flag.Duration("ttl", 0, "idle-session eviction TTL (0 keeps the 30m default, <0 disables eviction)")
 		queue     = flag.Int("queue", 0, "per-session request queue depth (0 keeps the 1024 default)")
+		state     = flag.String("state", "", "state directory: every deployed bundle persists as <name>@<version>.hemodel and the catalog reloads on restart")
+		adminTok  = flag.String("admin-token", "", "bearer token required on the admin endpoints (POST/DELETE /v1/models*); empty leaves them open")
+		perModel  = flag.Int("max-sessions-per-model", 0, "cap on live sessions per model name across its versions (0: no per-model cap)")
 	)
 	var demos []string
 	flag.Func("demo", "add a synthetic demo model, name[:seed] (repeatable)", func(v string) error {
@@ -65,7 +78,7 @@ func main() {
 	})
 	flag.Parse()
 
-	models, err := buildModels(demos, *train, *modelsDir, *seed, *logN)
+	models, err := buildModels(demos, *train, *modelsDir, *seed, *logN, *state)
 	if err != nil {
 		fail(err)
 	}
@@ -75,23 +88,32 @@ func main() {
 		}
 	}
 	srv, err := server.New(server.Options{
-		MaxBatch:    *batch,
-		Workers:     *workers,
-		BatchWindow: *window,
-		Policy:      *policy,
-		SessionTTL:  *ttl,
-		QueueDepth:  *queue,
+		MaxBatch:            *batch,
+		Workers:             *workers,
+		BatchWindow:         *window,
+		Policy:              *policy,
+		SessionTTL:          *ttl,
+		QueueDepth:          *queue,
+		MaxSessionsPerModel: *perModel,
+		StateDir:            *state,
+		AdminToken:          *adminTok,
 	}, models...)
 	if err != nil {
 		fail(err)
 	}
 	for _, d := range srv.Registry().List() {
 		m := d.Model()
-		fmt.Printf("hennserve: model %q (%d -> %d, %d levels), N=%d, %d rotation keys per session\n",
-			m.Name, m.InputDim, m.OutputDim, d.Levels(), 2*d.Params().Slots(), len(d.Rotations()))
+		fmt.Printf("hennserve: model %s (%d -> %d, %d levels), N=%d, %d rotation keys per session\n",
+			d.Ref(), m.InputDim, m.OutputDim, d.Levels(), 2*d.Params().Slots(), len(d.Rotations()))
 	}
-	fmt.Printf("hennserve: %d model(s), %q scheduling over a %d-worker shared budget\n",
+	fmt.Printf("hennserve: %d model version(s), %q scheduling over a %d-worker shared budget\n",
 		srv.Registry().Len(), *policy, srv.Stats().Workers)
+	if *state != "" {
+		fmt.Printf("hennserve: catalog persists under %s (reloaded on restart)\n", *state)
+	}
+	if *adminTok != "" {
+		fmt.Println("hennserve: admin endpoints require the bearer token")
+	}
 	fmt.Printf("hennserve: listening on %s\n", *addr)
 	httpSrv := &http.Server{
 		Addr:    *addr,
@@ -130,8 +152,10 @@ func main() {
 
 // buildModels assembles the startup catalog: every -demo occurrence, the
 // -train model, and every bundle in -models. With no model flags at all it
-// falls back to the single synthetic demo model.
-func buildModels(demos []string, train bool, modelsDir string, seed int64, logN int) ([]*registry.Model, error) {
+// falls back to the single synthetic demo model — unless a -state directory
+// is configured, whose reloaded catalog then stands on its own (a restarted
+// server must come back with exactly what it persisted, not a demo extra).
+func buildModels(demos []string, train bool, modelsDir string, seed int64, logN int, stateDir string) ([]*registry.Model, error) {
 	var models []*registry.Model
 	for _, spec := range demos {
 		m, err := demoModel(spec, seed, logN)
@@ -154,7 +178,7 @@ func buildModels(demos []string, train bool, modelsDir string, seed int64, logN 
 		}
 		models = append(models, loaded...)
 	}
-	if len(models) == 0 {
+	if len(models) == 0 && stateDir == "" {
 		m, err := registry.DemoModel(seed, logN)
 		if err != nil {
 			return nil, err

@@ -174,6 +174,37 @@ func main() {
 			fmt.Printf("  %q encrypted pred %d\n", other, argmax(logits))
 		}
 	}
+
+	// Versioned rollout (in-process only — it needs the plaintext reference
+	// for both versions): supersede the bound model with a v2. The session
+	// registered above keeps serving v1 until it disconnects; a fresh
+	// session resolves the bare name to v2.
+	if len(local) > 0 && local[info.Name] != nil {
+		fmt.Printf("\nsuperseding %q with a v2 (old sessions drain on v1, new ones bind v2)...\n", info.Name)
+		v2, err := registry.DemoModel(*seed+77, *logN)
+		check(err)
+		v2.Name = info.Name
+		v2info, err := client.Supersede(ctx, v2)
+		check(err)
+		old := local[info.Name]
+		logits, err := sess.Infer(ctx, x) // the v1 session still serves
+		check(err)
+		if argmax(logits) != argmax(old.MLP.InferPlain(x)[:info.OutputDim]) {
+			check(fmt.Errorf("draining v1 session diverged from the v1 reference"))
+		}
+		sess2, err := client.NewSessionFor(ctx, info.Name, *seed+2)
+		check(err)
+		if got := sess2.Model().Version; got != v2info.Version {
+			check(fmt.Errorf("new session bound version %d, want %d", got, v2info.Version))
+		}
+		logits2, err := sess2.Infer(ctx, x)
+		check(err)
+		if argmax(logits2) != argmax(v2.MLP.InferPlain(x)[:v2info.OutputDim]) {
+			check(fmt.Errorf("v2 session diverged from the v2 reference"))
+		}
+		fmt.Printf("  old session answered from %s@%d, new session from %s@%d — zero dropped requests\n",
+			info.Name, info.Version, v2info.Name, v2info.Version)
+	}
 }
 
 func argmax(v []float64) int {

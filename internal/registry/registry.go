@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -13,16 +15,53 @@ import (
 
 // Sentinel errors callers branch on (the HTTP layer maps them to statuses).
 var (
-	// ErrExists is returned by Deploy when the name is already taken.
+	// ErrExists is returned by Deploy when the name already has a live
+	// version (use Supersede to publish a new version behind it).
 	ErrExists = errors.New("registry: model already deployed")
-	// ErrUnknown is returned by Retire for a name that is not deployed.
+	// ErrUnknown is returned by Retire/Resolve misses.
 	ErrUnknown = errors.New("registry: unknown model")
-	// ErrRetired is returned by Bind once a model has been retired.
+	// ErrRetired is returned by Bind once a model version has been retired.
 	ErrRetired = errors.New("registry: model retired")
+	// ErrDraining is returned by Bind for a version superseded by a newer
+	// one: existing sessions keep serving it, new sessions must bind the
+	// successor.
+	ErrDraining = errors.New("registry: model version draining")
 )
 
-// Deployed is one compiled serving stack: the model plus everything derived
-// from it at deploy time — compiled parameters, a shared encoder, the
+// Ref renders the canonical versioned reference for a model version,
+// "name@version" (e.g. "alpha@2"). Versions start at 1.
+func Ref(name string, version int) string {
+	return name + "@" + strconv.Itoa(version)
+}
+
+// SplitRef parses a model reference. A bare name ("alpha") returns version 0,
+// meaning "the newest live version"; "alpha@2" pins version 2 exactly.
+// Version numbers below 1 and malformed suffixes are errors.
+func SplitRef(ref string) (name string, version int, err error) {
+	name, ver, ok := strings.Cut(ref, "@")
+	if !ok {
+		return ref, 0, nil
+	}
+	v, err := strconv.Atoi(ver)
+	if err != nil || v < 1 {
+		return "", 0, fmt.Errorf("registry: bad version in %q (want name@N with N >= 1)", ref)
+	}
+	return name, v, nil
+}
+
+// Lifecycle states of a deployed version.
+const (
+	stateLive = iota
+	// stateDraining: superseded — no new binds, existing sessions keep
+	// serving until they release; the stack frees on the last reference.
+	stateDraining
+	// stateRetired: removed from the catalog, bound sessions are being
+	// closed by the server; frees on the last reference.
+	stateRetired
+)
+
+// Deployed is one compiled serving stack: a model version plus everything
+// derived from it at deploy time — compiled parameters, a shared encoder, the
 // canonical parameter-literal bytes sessions must match, the rotation-step
 // set (computing it warms every linear layer's diagonal-plan cache), and
 // per-model counters. All fields are immutable after Deploy except the
@@ -30,23 +69,38 @@ var (
 // can share one Deployed without locking.
 type Deployed struct {
 	model      *Model
+	version    int
 	params     *ckks.Parameters
 	enc        *ckks.Encoder
 	paramBytes []byte
 	levels     int
 	rotations  []int
+	// delist removes this version from its registry's catalog once the
+	// stack frees; set at publish time, nil for never-published stacks.
+	delist func()
 
 	unitsRun atomic.Int64
 
-	mu      sync.Mutex
-	refs    int
-	retired bool
-	freed   bool
-	drained chan struct{} // closed when retired and the last ref released
+	mu    sync.Mutex
+	refs  int
+	state int
+	freed bool
+	// drained is closed when the stack stops serving (drain or retire) and
+	// the last reference is released.
+	drained chan struct{}
 }
 
 // Model returns the deployed artifact (treat as read-only).
 func (d *Deployed) Model() *Model { return d.model }
+
+// Name returns the model's base name (no version suffix).
+func (d *Deployed) Name() string { return d.model.Name }
+
+// Version returns the registry-assigned version number (>= 1).
+func (d *Deployed) Version() int { return d.version }
+
+// Ref returns the canonical versioned reference, e.g. "alpha@2".
+func (d *Deployed) Ref() string { return Ref(d.model.Name, d.version) }
 
 // Params returns the compiled CKKS parameters.
 func (d *Deployed) Params() *ckks.Parameters { return d.params }
@@ -69,13 +123,17 @@ func (d *Deployed) AddUnitRun() { d.unitsRun.Add(1) }
 // UnitsRun reports how many inference units have run against this model.
 func (d *Deployed) UnitsRun() int64 { return d.unitsRun.Load() }
 
-// Bind takes a session reference, failing once the model is retired — a
-// registering client racing a retire gets a clean error instead of a stack
-// that is being torn down.
+// Bind takes a session reference. It fails once the version stops accepting
+// new sessions: ErrDraining after a supersede (bind the successor instead),
+// ErrRetired after a retire — a registering client racing either gets a
+// clean error instead of a stack that is being torn down.
 func (d *Deployed) Bind() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.retired {
+	switch d.state {
+	case stateDraining:
+		return ErrDraining
+	case stateRetired:
 		return ErrRetired
 	}
 	d.refs++
@@ -85,18 +143,20 @@ func (d *Deployed) Bind() error {
 // Retain takes an additional reference for an in-flight inference unit. The
 // caller must already hold a reference (the scheduler retains on behalf of a
 // bound session before submitting a unit), so Retain cannot race the final
-// drain and never fails — a retired model keeps serving its in-flight units.
+// drain and never fails — a draining or retired model keeps serving its
+// in-flight units.
 func (d *Deployed) Retain() {
 	d.mu.Lock()
 	d.refs++
 	d.mu.Unlock()
 }
 
-// Release drops one reference. When a retired model's last reference goes,
-// the stack is freed: the MLP's diagonal-plan and plaintext caches are
-// dropped and Drained is closed. Freeing is idempotent — a scheduler's
-// Retain racing the final session Release can briefly resurrect the count
-// after the free, and its own Release must not free twice.
+// Release drops one reference. When a draining or retired version's last
+// reference goes, the stack is freed: the MLP's diagonal-plan and plaintext
+// caches are dropped, Drained is closed and the version leaves the catalog.
+// Freeing is idempotent — a scheduler's Retain racing the final session
+// Release can briefly resurrect the count after the free, and its own
+// Release must not free twice.
 func (d *Deployed) Release() {
 	d.mu.Lock()
 	if d.refs <= 0 {
@@ -113,17 +173,21 @@ func (d *Deployed) Release() {
 
 // claimFreeLocked reports (once) that the stack should be freed now.
 func (d *Deployed) claimFreeLocked() bool {
-	if d.retired && d.refs == 0 && !d.freed {
+	if d.state != stateLive && d.refs == 0 && !d.freed {
 		d.freed = true
 		return true
 	}
 	return false
 }
 
-// retire flips the lifecycle flag, freeing immediately when nothing is bound.
-func (d *Deployed) retire() {
+// setState moves the lifecycle forward (never backward: a retire of an
+// already-draining version sticks), freeing immediately when nothing is
+// bound.
+func (d *Deployed) setState(state int) {
 	d.mu.Lock()
-	d.retired = true
+	if state > d.state {
+		d.state = state
+	}
 	free := d.claimFreeLocked()
 	d.mu.Unlock()
 	if free {
@@ -134,6 +198,9 @@ func (d *Deployed) retire() {
 func (d *Deployed) free() {
 	d.model.MLP.DropCaches()
 	close(d.drained)
+	if d.delist != nil {
+		d.delist()
+	}
 }
 
 // Refs reports the current reference count (bound sessions plus in-flight
@@ -144,33 +211,90 @@ func (d *Deployed) Refs() int {
 	return d.refs
 }
 
-// Retired reports whether the model has been retired.
+// Retired reports whether the version has been retired (not merely
+// superseded).
 func (d *Deployed) Retired() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.retired
+	return d.state == stateRetired
 }
 
-// Drained is closed once a retired model's last reference is released and
-// its caches are freed. For a live model the channel never closes.
+// Draining reports whether the version was superseded and is serving only
+// its existing sessions until they release.
+func (d *Deployed) Draining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state == stateDraining
+}
+
+// Drained is closed once a draining or retired version's last reference is
+// released and its caches are freed. For a live version the channel never
+// closes.
 func (d *Deployed) Drained() <-chan struct{} { return d.drained }
 
-// Registry is the concurrency-safe model catalog.
+// family is one model name's version history: the monotonic version counter
+// plus every version still in the catalog (live or draining). The counter
+// survives full retirement so version numbers are never reused — a draining
+// alpha@1 can never collide with a fresh deploy of "alpha".
+type family struct {
+	next     int
+	versions map[int]*Deployed
+}
+
+// Registry is the concurrency-safe versioned model catalog. An optional
+// Store (UseStore) persists every deployed bundle so a restart reloads the
+// catalog.
 type Registry struct {
-	mu     sync.RWMutex
-	models map[string]*Deployed
+	mu       sync.RWMutex
+	families map[string]*family
+	store    *Store
 }
 
 // New returns an empty registry.
 func New() *Registry {
-	return &Registry{models: map[string]*Deployed{}}
+	return &Registry{families: map[string]*family{}}
 }
 
-// Deploy validates and compiles the model into a serving stack and publishes
-// it under its name. Compilation happens outside the catalog lock (parameter
-// compilation and plan warming are expensive), so concurrent deploys of
-// different models proceed in parallel; a name collision returns ErrExists.
-func (r *Registry) Deploy(m *Model) (*Deployed, error) {
+// UseStore attaches a persistent bundle store: every bundle already in the
+// store is loaded into the catalog at its recorded version, and every future
+// Deploy/Supersede/Retire is mirrored to disk. Corrupt or misnamed files are
+// skipped, each contributing a warning — a hostile or truncated state file
+// must not block startup. Call before serving traffic, at most once.
+func (r *Registry) UseStore(s *Store) (warnings []error) {
+	entries, warnings := s.Load()
+	for _, e := range entries {
+		if _, err := r.deploy(e.Model, e.Version, false); err != nil {
+			warnings = append(warnings, fmt.Errorf("%s: %w", Ref(e.Model.Name, e.Version), err))
+		}
+	}
+	r.mu.Lock()
+	r.store = s
+	// A crash between a supersede's Save(vN+1) and Remove(vN) leaves both
+	// files behind, which the load above restored as two live versions of
+	// one name. Finish the interrupted rollout: keep only the newest
+	// version of each family live, draining the rest (no sessions exist at
+	// startup, so they free — and their files go — on the spot).
+	var stale []*Deployed
+	for _, f := range r.families {
+		newest := f.liveLocked()
+		for _, d := range f.versions {
+			if d != newest {
+				stale = append(stale, d)
+			}
+		}
+	}
+	r.mu.Unlock()
+	for _, d := range stale {
+		warnings = append(warnings, fmt.Errorf("%s: superseded by a newer stored version; dropped", d.Ref()))
+		d.setState(stateDraining)
+		s.Remove(d.Name(), d.version)
+	}
+	return warnings
+}
+
+// compile validates the model and builds its serving stack (expensive:
+// parameter compilation and plan warming), outside any catalog lock.
+func compile(m *Model) (*Deployed, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -195,7 +319,7 @@ func (r *Registry) Deploy(m *Model) (*Deployed, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Deployed{
+	return &Deployed{
 		model:      m,
 		params:     params,
 		enc:        ckks.NewEncoder(params),
@@ -206,58 +330,242 @@ func (r *Registry) Deploy(m *Model) (*Deployed, error) {
 		// O(slots·Out) plan derivation.
 		rotations: m.MLP.RequiredRotations(slots),
 		drained:   make(chan struct{}),
-	}
+	}, nil
+}
 
+// publishLocked inserts d into its family at the given version (0 assigns
+// the next number) and keeps the counter monotonic past restored versions.
+func (r *Registry) publishLocked(d *Deployed, version int) {
+	name := d.model.Name
+	f := r.families[name]
+	if f == nil {
+		f = &family{next: 1, versions: map[int]*Deployed{}}
+		r.families[name] = f
+	}
+	if version == 0 {
+		version = f.next
+	}
+	d.version = version
+	if version >= f.next {
+		f.next = version + 1
+	}
+	f.versions[version] = d
+	d.delist = func() { r.delistVersion(name, version) }
+}
+
+// delistVersion drops a freed version from the catalog (no-op if a Retire
+// already removed it).
+func (r *Registry) delistVersion(name string, version int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.models[m.Name]; dup {
-		return nil, fmt.Errorf("%w: %q", ErrExists, m.Name)
+	if f := r.families[name]; f != nil {
+		delete(f.versions, version)
 	}
-	r.models[m.Name] = d
+}
+
+// liveLocked returns the family's newest live version, nil if none.
+func (f *family) liveLocked() *Deployed {
+	var best *Deployed
+	for _, d := range f.versions {
+		if d.Draining() || d.Retired() {
+			continue
+		}
+		if best == nil || d.version > best.version {
+			best = d
+		}
+	}
+	return best
+}
+
+// Deploy validates and compiles the model into a serving stack and publishes
+// it as the next version of its name. Compilation happens outside the
+// catalog lock, so concurrent deploys of different models proceed in
+// parallel. A name with a live version returns ErrExists (Supersede is the
+// versioned upgrade path); a name whose versions are all draining or gone
+// deploys normally, continuing the version sequence.
+func (r *Registry) Deploy(m *Model) (*Deployed, error) {
+	return r.deploy(m, 0, true)
+}
+
+// deploy is the shared publish path: version 0 auto-assigns, persist false
+// skips the store write (restoring from the store must not rewrite it).
+func (r *Registry) deploy(m *Model, version int, persist bool) (*Deployed, error) {
+	d, err := compile(m)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if f := r.families[m.Name]; f != nil {
+		if version != 0 {
+			if _, dup := f.versions[version]; dup {
+				r.mu.Unlock()
+				return nil, fmt.Errorf("%w: %q", ErrExists, Ref(m.Name, version))
+			}
+		} else if live := f.liveLocked(); live != nil {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q is live as %s (supersede to upgrade)", ErrExists, m.Name, live.Ref())
+		}
+	}
+	r.publishLocked(d, version)
+	store := r.store
+	r.mu.Unlock()
+	if persist && store != nil {
+		if err := store.Save(m, d.version); err != nil {
+			r.unpublish(d)
+			return nil, fmt.Errorf("registry: persisting %s: %w", d.Ref(), err)
+		}
+	}
 	return d, nil
 }
 
-// Get returns the deployed stack for the name.
-func (r *Registry) Get(name string) (*Deployed, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	d, ok := r.models[name]
-	return d, ok
+// unpublish rolls back a publish whose persistence failed: the version
+// leaves the catalog and is retired so any session that bound it during the
+// window drains it and the warmed stack frees instead of living on
+// invisibly.
+func (r *Registry) unpublish(d *Deployed) {
+	r.delistVersion(d.Name(), d.version)
+	d.setState(stateRetired)
 }
 
-// List returns the deployed stacks sorted by name.
+// Supersede publishes the model as the next version of its name and drains
+// every live older version: existing sessions keep serving the old stacks
+// until they release (the stack frees on the last reference), while new
+// binds land on the new version. Superseding a name with no live version is
+// equivalent to Deploy. Returns the new version and the versions set
+// draining.
+func (r *Registry) Supersede(m *Model) (*Deployed, []*Deployed, error) {
+	d, err := compile(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	var old []*Deployed
+	r.mu.Lock()
+	if f := r.families[m.Name]; f != nil {
+		for _, prev := range f.versions {
+			if !prev.Draining() && !prev.Retired() {
+				old = append(old, prev)
+			}
+		}
+	}
+	r.publishLocked(d, 0)
+	store := r.store
+	r.mu.Unlock()
+	sort.Slice(old, func(i, j int) bool { return old[i].version < old[j].version })
+	if store != nil {
+		if err := store.Save(m, d.version); err != nil {
+			r.unpublish(d)
+			return nil, nil, fmt.Errorf("registry: persisting %s: %w", d.Ref(), err)
+		}
+	}
+	// Drain after the successor is published and persisted, so no window
+	// exists in which neither version would survive a restart. A draining
+	// version can never serve a new session (or a restart), so its bundle
+	// leaves the store at drain start, not drain end.
+	for _, prev := range old {
+		prev.setState(stateDraining)
+		if store != nil {
+			store.Remove(prev.Name(), prev.version)
+		}
+	}
+	return d, old, nil
+}
+
+// Resolve returns the deployed stack for a reference: "name@N" pins that
+// exact version (returned even while draining, so its catalog entry stays
+// inspectable; Bind reports the drain), a bare name resolves to the newest
+// live version.
+func (r *Registry) Resolve(ref string) (*Deployed, bool) {
+	name, version, err := SplitRef(ref)
+	if err != nil {
+		return nil, false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f := r.families[name]
+	if f == nil {
+		return nil, false
+	}
+	if version != 0 {
+		d, ok := f.versions[version]
+		return d, ok
+	}
+	d := f.liveLocked()
+	return d, d != nil
+}
+
+// Get is Resolve under the pre-versioning name, kept for callers that treat
+// the reference as opaque.
+func (r *Registry) Get(ref string) (*Deployed, bool) { return r.Resolve(ref) }
+
+// List returns every cataloged version (live and draining), sorted by name
+// then version.
 func (r *Registry) List() []*Deployed {
 	r.mu.RLock()
-	out := make([]*Deployed, 0, len(r.models))
-	for _, d := range r.models {
-		out = append(out, d)
+	out := make([]*Deployed, 0, len(r.families))
+	for _, f := range r.families {
+		for _, d := range f.versions {
+			out = append(out, d)
+		}
 	}
 	r.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].model.Name < out[j].model.Name })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].model.Name != out[j].model.Name {
+			return out[i].model.Name < out[j].model.Name
+		}
+		return out[i].version < out[j].version
+	})
 	return out
 }
 
-// Len reports how many models are deployed.
+// Len reports how many model versions are cataloged.
 func (r *Registry) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.models)
+	n := 0
+	for _, f := range r.families {
+		n += len(f.versions)
+	}
+	return n
 }
 
-// Retire removes the model from the catalog — new Bind calls fail from this
-// point — and returns its stack so the caller can close bound sessions. The
-// stack's caches are freed once every bound session and in-flight unit has
-// released its reference (watch Drained for that moment).
-func (r *Registry) Retire(name string) (*Deployed, error) {
+// Retire removes model versions from the catalog — new Bind calls fail from
+// this point — and returns their stacks so the caller can close bound
+// sessions. "name@N" retires that exact version; a bare name retires every
+// cataloged version (draining ones included). Each stack's caches are freed
+// once every bound session and in-flight unit has released its reference
+// (watch Drained for that moment).
+func (r *Registry) Retire(ref string) ([]*Deployed, error) {
+	name, version, err := SplitRef(ref)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnknown, err)
+	}
+	var out []*Deployed
 	r.mu.Lock()
-	d, ok := r.models[name]
-	if ok {
-		delete(r.models, name)
+	f := r.families[name]
+	if f != nil {
+		if version != 0 {
+			if d, ok := f.versions[version]; ok {
+				delete(f.versions, version)
+				out = append(out, d)
+			}
+		} else {
+			for v, d := range f.versions {
+				delete(f.versions, v)
+				out = append(out, d)
+			}
+		}
 	}
+	store := r.store
 	r.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknown, name)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, ref)
 	}
-	d.retire()
-	return d, nil
+	sort.Slice(out, func(i, j int) bool { return out[i].version < out[j].version })
+	for _, d := range out {
+		d.setState(stateRetired)
+		if store != nil {
+			store.Remove(d.Name(), d.version)
+		}
+	}
+	return out, nil
 }

@@ -3,7 +3,10 @@ package registry
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -276,5 +279,449 @@ func TestBundleHostile(t *testing.T) {
 	}
 	if err := new(Model).UnmarshalBinary(append(data, 0)); err == nil {
 		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestSplitRef pins the reference grammar: bare names mean "newest live"
+// (version 0), name@N pins a version, malformed suffixes error.
+func TestSplitRef(t *testing.T) {
+	for _, tc := range []struct {
+		ref     string
+		name    string
+		version int
+		ok      bool
+	}{
+		{"alpha", "alpha", 0, true},
+		{"alpha@1", "alpha", 1, true},
+		{"a.b-c_2@17", "a.b-c_2", 17, true},
+		{"alpha@0", "", 0, false},
+		{"alpha@-3", "", 0, false},
+		{"alpha@", "", 0, false},
+		{"alpha@x", "", 0, false},
+		{"alpha@1@2", "", 0, false},
+	} {
+		name, version, err := SplitRef(tc.ref)
+		if tc.ok && (err != nil || name != tc.name || version != tc.version) {
+			t.Errorf("SplitRef(%q) = (%q, %d, %v), want (%q, %d)", tc.ref, name, version, err, tc.name, tc.version)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("SplitRef(%q) accepted", tc.ref)
+		}
+	}
+	if Ref("alpha", 2) != "alpha@2" {
+		t.Errorf("Ref: %s", Ref("alpha", 2))
+	}
+}
+
+// TestVersionedSupersedeLifecycle is the tentpole contract: Supersede
+// publishes vN+1 while vN drains — still resolvable by exact reference,
+// refusing new binds, serving existing references until the last one
+// releases, then leaving the catalog.
+func TestVersionedSupersedeLifecycle(t *testing.T) {
+	r := New()
+	d1, err := r.Deploy(testModel(t, "alpha", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Version() != 1 || d1.Ref() != "alpha@1" {
+		t.Fatalf("first deploy is %s, want alpha@1", d1.Ref())
+	}
+	if err := d1.Bind(); err != nil { // a live session on v1
+		t.Fatal(err)
+	}
+
+	d2, old, err := r.Supersede(testModel(t, "alpha", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Version() != 2 {
+		t.Fatalf("supersede published v%d, want v2", d2.Version())
+	}
+	if len(old) != 1 || old[0] != d1 {
+		t.Fatalf("supersede drained %v, want [alpha@1]", old)
+	}
+	if !d1.Draining() || d1.Retired() {
+		t.Fatal("superseded version not draining")
+	}
+
+	// Bare resolution lands on the new version; the old one stays pinned
+	// by exact reference but refuses new sessions.
+	if got, ok := r.Resolve("alpha"); !ok || got != d2 {
+		t.Fatal("bare name did not resolve to the newest live version")
+	}
+	if got, ok := r.Resolve("alpha@1"); !ok || got != d1 {
+		t.Fatal("draining version not resolvable by exact reference")
+	}
+	if err := d1.Bind(); !errors.Is(err, ErrDraining) {
+		t.Fatalf("bind on a draining version: got %v, want ErrDraining", err)
+	}
+	if err := d2.Bind(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("catalog has %d versions mid-drain, want 2", r.Len())
+	}
+
+	// The old session finishes: the v1 stack frees and leaves the catalog.
+	select {
+	case <-d1.Drained():
+		t.Fatal("drained with the old session still bound")
+	default:
+	}
+	d1.Release()
+	select {
+	case <-d1.Drained():
+	case <-time.After(time.Second):
+		t.Fatal("old version not freed after its last release")
+	}
+	if _, ok := r.Resolve("alpha@1"); ok {
+		t.Fatal("fully drained version still in the catalog")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("catalog has %d versions after drain, want 1", r.Len())
+	}
+	d2.Release()
+}
+
+// TestSupersedeIdleDrainsInstantly: superseding a version nothing is bound
+// to frees it on the spot.
+func TestSupersedeIdleDrainsInstantly(t *testing.T) {
+	r := New()
+	d1, err := r.Deploy(testModel(t, "idle", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Supersede(testModel(t, "idle", 4)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-d1.Drained():
+	default:
+		t.Fatal("idle supersede did not free the old stack")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("catalog has %d versions, want just the successor", r.Len())
+	}
+}
+
+// TestDeployOverLiveNameConflicts: plain Deploy is not an upgrade path —
+// a live name 409s, and retiring never recycles version numbers.
+func TestDeployOverLiveNameConflicts(t *testing.T) {
+	r := New()
+	if _, err := r.Deploy(testModel(t, "alpha", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Deploy(testModel(t, "alpha", 6)); !errors.Is(err, ErrExists) {
+		t.Fatalf("deploy over a live name: got %v, want ErrExists", err)
+	}
+	if _, err := r.Retire("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := r.Deploy(testModel(t, "alpha", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version() != 2 {
+		t.Fatalf("redeploy after retire got version %d; numbers must never be reused", d.Version())
+	}
+}
+
+// TestRetireExactVersion: "name@N" retires one version, leaving siblings.
+func TestRetireExactVersion(t *testing.T) {
+	r := New()
+	d1, err := r.Deploy(testModel(t, "alpha", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Bind(); err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := r.Supersede(testModel(t, "alpha", 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps, err := r.Retire("alpha@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) != 1 || deps[0] != d2 {
+		t.Fatalf("Retire(alpha@2) removed %v", deps)
+	}
+	if !d2.Retired() {
+		t.Fatal("exact-version retire did not retire the stack")
+	}
+	// v1 is still draining and still pinned by its reference.
+	if got, ok := r.Resolve("alpha@1"); !ok || got != d1 {
+		t.Fatal("sibling version lost by an exact-version retire")
+	}
+	// No live version remains, so the bare name resolves to nothing.
+	if _, ok := r.Resolve("alpha"); ok {
+		t.Fatal("bare name resolved with only a draining version left")
+	}
+	d1.Release()
+}
+
+// TestStorePersistReloadRetire is the durability round trip: a second
+// registry on the same store reloads the identical catalog (names,
+// versions, parameter bytes), supersede swaps the persisted bundle to the
+// new version, and retire removes the file.
+func TestStorePersistReloadRetire(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*Registry, *Store) {
+		t.Helper()
+		st, err := OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := New()
+		for _, w := range r.UseStore(st) {
+			t.Fatalf("unexpected store warning: %v", w)
+		}
+		return r, st
+	}
+
+	r1, _ := open()
+	if _, err := r1.Deploy(testModel(t, "alpha", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.Deploy(testModel(t, "beta", 11)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r1.Supersede(testModel(t, "alpha", 12)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The state dir now holds exactly the surviving versions, no temp junk.
+	files, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{}
+	for _, f := range files {
+		names = append(names, filepath.Base(f))
+	}
+	sort.Strings(names)
+	if want := []string{"alpha@2.hemodel", "beta@1.hemodel"}; !reflect.DeepEqual(names, want) {
+		t.Fatalf("state dir holds %v, want %v", names, want)
+	}
+
+	// A fresh registry reloads the identical catalog.
+	r2, _ := open()
+	want := r1.List()
+	got := r2.List()
+	if len(got) != len(want) {
+		t.Fatalf("reloaded %d versions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Ref() != want[i].Ref() {
+			t.Fatalf("reloaded %s, want %s", got[i].Ref(), want[i].Ref())
+		}
+		if !reflect.DeepEqual(got[i].ParamBytes(), want[i].ParamBytes()) {
+			t.Fatalf("%s parameter bytes changed across reload", got[i].Ref())
+		}
+	}
+	// The version counter survives too: a new alpha deploy must not collide
+	// with the retired/drained history.
+	if _, err := r2.Retire("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := r2.Deploy(testModel(t, "alpha", 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version() != 3 {
+		t.Fatalf("post-reload redeploy got version %d, want 3", d.Version())
+	}
+
+	// Retire removes files; a third reload sees only what survived.
+	if _, err := r2.Retire("beta"); err != nil {
+		t.Fatal(err)
+	}
+	r3, _ := open()
+	if r3.Len() != 1 {
+		t.Fatalf("final reload has %d versions, want 1 (alpha@3)", r3.Len())
+	}
+	if _, ok := r3.Resolve("alpha@3"); !ok {
+		t.Fatal("alpha@3 missing after final reload")
+	}
+}
+
+// TestStoreHostileFilesSkipWithWarning: truncated, corrupt, misnamed and
+// stray files in the state directory must produce warnings and be skipped —
+// never a failed (or panicking) startup.
+func TestStoreHostileFilesSkipWithWarning(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := testModel(t, "good", 14)
+	if err := st.Save(good, 1); err != nil {
+		t.Fatal(err)
+	}
+	goodBytes, err := good.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := map[string][]byte{
+		"truncated@1.hemodel":     goodBytes[:len(goodBytes)/2],
+		"garbage@2.hemodel":       {0xde, 0xad, 0xbe, 0xef},
+		"noversion.hemodel":       goodBytes,
+		"bad@0.hemodel":           goodBytes,
+		"mismatch@1.hemodel":      goodBytes, // embedded name says "good"
+		"straggler@1.hemodel.tmp": goodBytes,
+		"README.txt":              []byte("not a bundle"),
+	}
+	for name, data := range hostile {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := New()
+	warnings := r.UseStore(st)
+	// Every *.hemodel except the good one warns; .tmp and .txt are ignored.
+	if len(warnings) != 5 {
+		t.Fatalf("got %d warnings (%v), want 5", len(warnings), warnings)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("catalog has %d versions, want only the good one", r.Len())
+	}
+	d, ok := r.Resolve("good@1")
+	if !ok {
+		t.Fatal("good bundle not loaded")
+	}
+	if d.Model().InputDim != good.InputDim {
+		t.Fatal("good bundle loaded incorrectly")
+	}
+}
+
+// TestConcurrentSupersedeChurn hammers supersede/resolve/bind under -race.
+func TestConcurrentSupersedeChurn(t *testing.T) {
+	r := New()
+	if _, err := r.Deploy(testModel(t, "hot", 20)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if g == 0 {
+					if _, _, err := r.Supersede(testModel(t, "hot", int64(30+i))); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				if d, ok := r.Resolve("hot"); ok {
+					if err := d.Bind(); err == nil {
+						d.Release()
+					}
+				}
+				r.List()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Exactly one live version survives the churn.
+	live := 0
+	for _, d := range r.List() {
+		if !d.Draining() && !d.Retired() {
+			live++
+		}
+	}
+	if live != 1 {
+		t.Fatalf("%d live versions after churn, want 1", live)
+	}
+}
+
+// TestUseStoreFinishesCrashedSupersede: a crash between a supersede's
+// Save(vN+1) and Remove(vN) leaves both bundle files; the next load must
+// keep only the newest version live and drop (and delete) the stale one —
+// not present one logical model as two live versions.
+func TestUseStoreFinishesCrashedSupersede(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(testModel(t, "alpha", 40), 1); err != nil { // the un-removed old version
+		t.Fatal(err)
+	}
+	if err := st.Save(testModel(t, "alpha", 41), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	r := New()
+	warnings := r.UseStore(st)
+	if len(warnings) != 1 {
+		t.Fatalf("got %d warnings (%v), want the stale-version drop", len(warnings), warnings)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("catalog has %d versions, want only alpha@2", r.Len())
+	}
+	d, ok := r.Resolve("alpha")
+	if !ok || d.Version() != 2 {
+		t.Fatalf("resolved %v, want alpha@2", d)
+	}
+	// The stale file is gone: the next restart is clean.
+	if _, err := os.Stat(filepath.Join(dir, "alpha@1.hemodel")); !os.IsNotExist(err) {
+		t.Fatalf("stale alpha@1.hemodel survived the recovery (stat err: %v)", err)
+	}
+}
+
+// TestStoreRejectsNonCanonicalFileNames: "alpha@01.hemodel" parses to a
+// version whose canonical path differs, so Remove could never delete it and
+// a retired model would resurrect every restart — it must be skipped.
+func TestStoreRejectsNonCanonicalFileNames(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := testModel(t, "alpha", 42).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"alpha@01.hemodel", "alpha@+1.hemodel"} {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded, warnings := st.Load()
+	if len(loaded) != 0 {
+		t.Fatalf("non-canonical file names loaded: %v", loaded)
+	}
+	if len(warnings) != 2 {
+		t.Fatalf("got %d warnings (%v), want 2", len(warnings), warnings)
+	}
+}
+
+// TestDeployPersistFailureRetiresStack: when the store write fails, the
+// already-published version must not linger live-but-invisible — it is
+// delisted and retired so the warmed stack frees.
+func TestDeployPersistFailureRetiresStack(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if ws := r.UseStore(st); len(ws) != 0 {
+		t.Fatalf("unexpected warnings: %v", ws)
+	}
+	// Delete the directory out from under the store so Save's temp-file
+	// write fails (works even as root, which ignores permission bits).
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Deploy(testModel(t, "alpha", 43))
+	if err == nil {
+		t.Fatal("deploy succeeded with an unwritable store")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("failed deploy left %d catalog entries", r.Len())
 	}
 }

@@ -1,0 +1,128 @@
+package registry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store persists deployed bundles under a state directory, one
+// "<name>@<version>.hemodel" file per cataloged version (the same bytes
+// POST /v1/models accepts). Writes go through a temp file and an atomic
+// rename, so a crash mid-write can leave at worst a stray *.tmp — never a
+// torn bundle that would poison the next startup. A Registry wired through
+// UseStore keeps the directory in lockstep with the catalog: Deploy and
+// Supersede save, Retire and drain-start remove.
+type Store struct {
+	dir string
+}
+
+// storeExt is the bundle file suffix (shared with hennserve's -models dir).
+const storeExt = ".hemodel"
+
+// OpenStore opens (creating if needed) the state directory.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: state dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the state directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// path is the bundle file for one model version.
+func (s *Store) path(name string, version int) string {
+	return filepath.Join(s.dir, Ref(name, version)+storeExt)
+}
+
+// Save persists the bundle for a model version, atomically replacing any
+// previous file: marshal, write "<ref>.hemodel.tmp", fsync-free rename. The
+// rename is the commit point — a reader (or a restart) sees either the old
+// complete file or the new one.
+func (s *Store) Save(m *Model, version int) error {
+	data, err := m.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	final := s.path(m.Name, version)
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Remove deletes a version's bundle file. A missing file is not an error —
+// a superseded version's file is removed at drain start, and a later bare
+// Retire of the family sweeps the same versions again.
+func (s *Store) Remove(name string, version int) {
+	_ = os.Remove(s.path(name, version))
+}
+
+// StoredModel is one bundle recovered from the state directory.
+type StoredModel struct {
+	Model   *Model
+	Version int
+}
+
+// Load reads every bundle in the state directory, sorted by file name for a
+// deterministic catalog. Files that are misnamed, truncated, corrupt, or
+// whose embedded model name disagrees with the file name are skipped, each
+// contributing a warning — hostile state must never block startup.
+func (s *Store) Load() ([]StoredModel, []error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, []error{fmt.Errorf("registry: state dir: %w", err)}
+	}
+	var (
+		out      []StoredModel
+		warnings []error
+	)
+	warnf := func(format string, args ...any) {
+		warnings = append(warnings, fmt.Errorf(format, args...))
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), storeExt) {
+			continue
+		}
+		path := filepath.Join(s.dir, e.Name())
+		name, version, err := SplitRef(strings.TrimSuffix(e.Name(), storeExt))
+		// The file name must round-trip through Ref exactly: a non-canonical
+		// spelling like "alpha@01" would parse to a version whose canonical
+		// file Remove would later delete at a different path, leaving an
+		// undeletable bundle that resurrects on every restart.
+		if err != nil || version == 0 || e.Name() != Ref(name, version)+storeExt {
+			warnf("%s: file name is not <name>@<version>%s; skipped", path, storeExt)
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			warnf("%s: %v; skipped", path, err)
+			continue
+		}
+		m := new(Model)
+		if err := m.UnmarshalBinary(data); err != nil {
+			warnf("%s: %v; skipped", path, err)
+			continue
+		}
+		if m.Name != name {
+			warnf("%s: bundle is for model %q, file name says %q; skipped", path, m.Name, name)
+			continue
+		}
+		out = append(out, StoredModel{Model: m, Version: version})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Model.Name != out[j].Model.Name {
+			return out[i].Model.Name < out[j].Model.Name
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out, warnings
+}

@@ -16,8 +16,9 @@ import (
 
 // Client talks to a hennserve instance. It is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	admin string
 }
 
 // NewClient wraps the base URL (e.g. "http://127.0.0.1:8555"). A nil
@@ -27,6 +28,22 @@ func NewClient(base string, hc *http.Client) *Client {
 		hc = http.DefaultClient
 	}
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// WithAdminToken returns a copy of the client that authenticates admin
+// mutations (Deploy, Supersede, Retire) with the bearer token; servers
+// started with -admin-token reject them otherwise.
+func (c *Client) WithAdminToken(token string) *Client {
+	cc := *c
+	cc.admin = token
+	return &cc
+}
+
+// authorize attaches the admin bearer token when one is configured.
+func (c *Client) authorize(req *http.Request) {
+	if c.admin != "" {
+		req.Header.Set("Authorization", "Bearer "+c.admin)
+	}
 }
 
 // apiError surfaces the server's JSON error body.
@@ -99,17 +116,31 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 }
 
 // Deploy hot-deploys a model (admin): the bundle crosses the wire in the
-// registry binary format and is serving sessions when the call returns.
+// registry binary format and is serving sessions when the call returns, as
+// the next version of its name. Deploying over a live name fails 409 — use
+// Supersede to roll the version.
 func (c *Client) Deploy(ctx context.Context, m *registry.Model) (*ModelInfo, error) {
+	return c.post(ctx, "/v1/models", m)
+}
+
+// Supersede publishes the model as the next version of its name (admin):
+// new registrations bind the new version while live older versions drain —
+// their existing sessions keep serving until they disconnect.
+func (c *Client) Supersede(ctx context.Context, m *registry.Model) (*ModelInfo, error) {
+	return c.post(ctx, "/v1/models?supersede=true", m)
+}
+
+func (c *Client) post(ctx context.Context, path string, m *registry.Model) (*ModelInfo, error) {
 	data, err := m.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/models", bytes.NewReader(data))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -125,13 +156,15 @@ func (c *Client) Deploy(ctx context.Context, m *registry.Model) (*ModelInfo, err
 	return info, nil
 }
 
-// Retire removes a model from the server's catalog (admin): its bound
-// sessions' pending requests fail 410 and the stack is freed once drained.
+// Retire removes a model from the server's catalog (admin): a bare name
+// retires every version, "name@N" just one. Bound sessions' pending
+// requests fail 410 and each stack is freed once drained.
 func (c *Client) Retire(ctx context.Context, name string) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/models/"+url.PathEscape(name), nil)
 	if err != nil {
 		return err
 	}
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -211,8 +244,12 @@ func (c *Client) newSession(ctx context.Context, model string, seed int64) (*Ses
 	if err != nil {
 		return nil, err
 	}
+	// Pin the exact version the info (and the keys derived from it)
+	// describe: a supersede landing between the info fetch and this
+	// registration must 410 cleanly instead of silently binding the new
+	// version under the old version's parameters.
 	payload, err := json.Marshal(registerRequest{
-		Model:        info.Name,
+		Model:        info.Ref(),
 		Params:       info.Params,
 		PublicKey:    pkBytes,
 		RelinKey:     rlkBytes,

@@ -12,37 +12,57 @@
 // marshaled registry.Model bundle and retires models by name, without
 // restarting the server.
 //
+// Model identity is versioned: every deploy of a name gets the next version
+// number (alpha@1, alpha@2, ...), a bare name resolves to the newest live
+// version, and a supersede publishes vN+1 while vN drains — existing
+// sessions keep serving the old stack until they disconnect, new
+// registrations bind the new one. With Options.StateDir set, every deployed
+// bundle persists as <name>@<version>.hemodel and the catalog reloads on
+// restart. When Options.AdminToken is set, the admin mutations require
+// "Authorization: Bearer <token>" (401 without a token, 403 with a wrong
+// one).
+//
 // Protocol (all binary payloads use the internal/ckks and internal/henn wire
 // formats; JSON []byte fields are base64 per encoding/json):
 //
 //	GET  /v1/models
-//	    -> [{name, inputDim, outputDim, levels, slots, params, rotations}]
-//	    The catalog. Each model prescribes its parameter literal; prime
-//	    derivation is deterministic, so both sides compile identical chains.
+//	    -> [{name, version, draining, inputDim, outputDim, levels, slots,
+//	         params, rotations}]
+//	    The catalog, live and draining versions alike. Each model
+//	    prescribes its parameter literal; prime derivation is
+//	    deterministic, so both sides compile identical chains.
 //
 //	GET  /v1/models/{name}
-//	    -> one catalog entry, 404 for unknown names.
+//	    -> one catalog entry, 404 for unknown names. "alpha@2" pins a
+//	    version (still served while draining), bare "alpha" resolves to
+//	    the newest live version.
 //
 //	GET  /v1/model
-//	    Single-model convenience: the sole deployed model, 409 when several
-//	    are deployed (name one instead), 404 when none is.
+//	    Single-model convenience: the sole live model, 409 when several
+//	    are live (name one instead), 404 when none is.
 //
-//	POST /v1/models          (admin)
+//	POST /v1/models[?supersede=true]          (admin)
 //	    raw marshaled registry.Model bundle -> catalog entry (201)
 //	    Hot deploy: the model is validated, compiled and warmed, then
-//	    serves sessions immediately. Duplicate names are 409.
+//	    serves sessions immediately as the next version of its name.
+//	    Deploying over a live name is 409 unless supersede=true, which
+//	    publishes vN+1 and gracefully drains vN: old sessions finish on
+//	    the old stack, whose caches free on its last reference.
 //
-//	DELETE /v1/models/{name} (admin)
-//	    Retire: the model leaves the catalog at once, its bound sessions
-//	    are closed (queued jobs fail 410), in-flight units finish, and the
-//	    stack's caches are freed once drained. 204 on success.
+//	DELETE /v1/models/{name}                  (admin)
+//	    Retire: "name" removes every version, "name@N" one version. The
+//	    catalog entry goes at once, bound sessions are closed (queued jobs
+//	    fail 410), in-flight units finish, and the stack's caches are
+//	    freed once drained. 204 on success.
 //
 //	POST /v1/sessions
 //	    {model, params, publicKey, relinKey, rotationKeys} -> {sessionID, model, weight}
-//	    Binds the session to a deployed model. model may be empty only
-//	    while exactly one model is deployed; params must byte-match that
-//	    model's prescribed literal and rotationKeys must cover exactly its
-//	    rotation set. Registering against a retiring model returns 410.
+//	    Binds the session to a deployed model; the response model is the
+//	    versioned reference ("alpha@2"). model may be a bare or versioned
+//	    name, and may be empty only while exactly one model is live;
+//	    params must byte-match that model's prescribed literal and
+//	    rotationKeys must cover exactly its rotation set. Registering
+//	    against a retired or draining version returns 410.
 //
 //	POST /v1/sessions/{id}/infer
 //	    raw marshaled ciphertext -> raw marshaled ciphertext
@@ -54,7 +74,8 @@
 //	    many). Requests on a session whose model was retired return 410.
 //
 //	GET  /v1/stats
-//	    -> scheduler counters plus per-model sessions/backlog/units.
+//	    -> scheduler counters plus per-model-version sessions/backlog/
+//	    units and draining state.
 //
 // Errors are JSON {"error": "..."} with a 4xx/5xx status.
 package server
@@ -63,9 +84,12 @@ import "github.com/efficientfhe/smartpaf/internal/registry"
 
 // ModelInfo is the public description a client fetches before key
 // generation: the prescribed parameters and the rotation steps its key set
-// must cover.
+// must cover, plus the version identity (register against Ref() to pin the
+// exact version the info describes).
 type ModelInfo struct {
 	Name      string `json:"name"`
+	Version   int    `json:"version"`
+	Draining  bool   `json:"draining,omitempty"`
 	InputDim  int    `json:"inputDim"`
 	OutputDim int    `json:"outputDim"`
 	Levels    int    `json:"levels"`
@@ -74,11 +98,16 @@ type ModelInfo struct {
 	Rotations []int  `json:"rotations"`
 }
 
+// Ref returns the versioned reference ("name@version") this info describes.
+func (mi *ModelInfo) Ref() string { return registry.Ref(mi.Name, mi.Version) }
+
 // infoFor projects a deployed stack into its public description.
 func infoFor(d *registry.Deployed) ModelInfo {
 	m := d.Model()
 	return ModelInfo{
 		Name:      m.Name,
+		Version:   d.Version(),
+		Draining:  d.Draining(),
 		InputDim:  m.InputDim,
 		OutputDim: m.OutputDim,
 		Levels:    d.Levels(),

@@ -8,6 +8,7 @@ import (
 
 	"github.com/efficientfhe/smartpaf/internal/henn"
 	"github.com/efficientfhe/smartpaf/internal/parallel"
+	"github.com/efficientfhe/smartpaf/internal/registry"
 )
 
 // Scheduling policies for Options.Policy.
@@ -79,17 +80,39 @@ func (d *scheduler) notify(sess *session) {
 	d.kick()
 }
 
-// sessionClosed makes a deleted or evicted session immediately dispatchable
-// so its queued jobs fail now — not after BatchWindow, and never by running
-// paid inference for a dead session.
+// sessionClosed makes a deleted or evicted session's queued jobs fail now —
+// not after BatchWindow, and never by running paid inference for a dead
+// session. Under the fair policy the session is made immediately
+// dispatchable; under FIFO its queued jobs are failed on the spot (and its
+// arrival entries dropped), because a FIFO entry otherwise only surfaces
+// when it reaches the head of the arrival queue — a dead session behind a
+// flood would wait out the whole backlog for its 410.
 func (d *scheduler) sessionClosed(sess *session) {
+	fifo := d.srv.opts.Policy == PolicyFIFO
 	d.mu.Lock()
 	sess.windowAt = time.Time{}
-	if d.srv.opts.Policy != PolicyFIFO && !sess.inRing && !sess.dispatching && len(sess.jobs) > 0 {
+	if fifo {
+		kept := d.fifo[:0]
+		for _, s := range d.fifo {
+			if s != sess {
+				kept = append(kept, s)
+			}
+		}
+		for i := len(kept); i < len(d.fifo); i++ {
+			d.fifo[i] = nil // let the dead session's entries be collected
+		}
+		d.fifo = kept
+	} else if !sess.inRing && !sess.dispatching && len(sess.jobs) > 0 {
 		sess.inRing = true
 		d.ring = append(d.ring, sess)
 	}
 	d.mu.Unlock()
+	if fifo {
+		// sess.done is already closed, so a racing handler's enqueue (or a
+		// dispatch that claimed jobs before the sweep above) still fails its
+		// jobs through the dispatcher's own liveness checks.
+		d.failQueued(sess, errSessionClosed)
+	}
 	d.kick()
 }
 
@@ -162,7 +185,7 @@ func (d *scheduler) next() (*session, time.Duration) {
 	now := time.Now()
 	var minWait time.Duration
 	for i, sess := range d.ring {
-		if eligible(sess, now, d.srv.opts.MaxBatch) {
+		if eligible(sess, now, d.srv.opts.MaxBatch*sess.weight) {
 			d.ring = append(d.ring[:i], d.ring[i+1:]...)
 			sess.inRing = false
 			sess.dispatching = true
@@ -177,9 +200,11 @@ func (d *scheduler) next() (*session, time.Duration) {
 
 // eligible reports whether the session's turn can start: its batch window
 // elapsed, a full quantum is already queued, or the session died (its jobs
-// must fail now).
-func eligible(sess *session, now time.Time, maxBatch int) bool {
-	if sess.windowAt.IsZero() || !now.Before(sess.windowAt) || len(sess.jobs) >= maxBatch {
+// must fail now). quantum is the session's own full quantum — weight ×
+// MaxBatch — not the 1× base: a weighted session's window is only cut short
+// once the whole quantum it is entitled to has queued.
+func eligible(sess *session, now time.Time, quantum int) bool {
+	if sess.windowAt.IsZero() || !now.Before(sess.windowAt) || len(sess.jobs) >= quantum {
 		return true
 	}
 	select {
@@ -208,9 +233,15 @@ claim:
 			break claim
 		}
 	}
+	// Claimed jobs left the session queue but have not reached the pool yet
+	// (Submit's zero-depth rendezvous can hold them a long time); count them
+	// so a Stats snapshot cannot report an empty backlog while the claimed
+	// quantum waits for workers.
+	sess.claimed.Add(int64(len(batch)))
 	select {
 	case <-sess.done:
 		d.abort(batch, errSessionClosed)
+		sess.claimed.Add(-int64(len(batch)))
 		d.failQueued(sess, errSessionClosed)
 		d.finish(sess)
 		return
@@ -227,6 +258,7 @@ claim:
 		select {
 		case <-sess.done:
 			d.abort(batch[i:], errSessionClosed)
+			sess.claimed.Add(-int64(len(batch) - i))
 			d.failQueued(sess, errSessionClosed)
 			d.finish(sess)
 			return
@@ -245,6 +277,7 @@ claim:
 			out, err := henn.Unit{Ctx: sess.ctx, MLP: sess.dep.Model().MLP, CT: job.ct}.Run()
 			job.done <- inferResult{ct: out, err: err}
 		})
+		sess.claimed.Add(-1) // handed to a worker, or about to be aborted
 		if !ok {
 			sess.dep.Release()
 			d.abort([]*inferJob{job}, errShuttingDown)
@@ -307,16 +340,22 @@ func (d *scheduler) shutdown() {
 	}
 }
 
-// ModelStats is the per-model slice of a Stats snapshot, fed by the registry
-// counters and the live session table.
+// ModelStats is the per-model-version slice of a Stats snapshot, fed by the
+// registry counters and the live session table.
 type ModelStats struct {
-	// Name is the model's registry name.
+	// Name is the model's base registry name.
 	Name string `json:"name"`
-	// Sessions is how many live sessions are bound to the model.
+	// Version is the registry-assigned version number.
+	Version int `json:"version"`
+	// Draining reports a superseded version still serving its existing
+	// sessions; it leaves the snapshot once the last one releases.
+	Draining bool `json:"draining,omitempty"`
+	// Sessions is how many live sessions are bound to the version.
 	Sessions int `json:"sessions"`
-	// Backlog is how many of the model's jobs are queued but not dispatched.
+	// Backlog is how many of the version's jobs await a worker (queued in
+	// sessions plus claimed by the dispatcher but not yet submitted).
 	Backlog int `json:"backlog"`
-	// UnitsRun counts inference units executed against the model.
+	// UnitsRun counts inference units executed against the version.
 	UnitsRun int64 `json:"unitsRun"`
 }
 
@@ -325,7 +364,9 @@ type ModelStats struct {
 type Stats struct {
 	// Workers is the resolved server-wide worker budget.
 	Workers int `json:"workers"`
-	// Backlog is how many jobs are queued but not yet dispatched.
+	// Backlog is how many accepted jobs still await a worker: queued in
+	// per-session queues plus claimed by the dispatcher but blocked in the
+	// zero-depth pool rendezvous. Jobs already executing do not count.
 	Backlog int `json:"backlog"`
 	// UnitsRun counts inference units the pool started executing.
 	UnitsRun int64 `json:"unitsRun"`
@@ -338,27 +379,34 @@ type Stats struct {
 	// it never exceeds Workers.
 	PeakInFlight int `json:"peakInFlight"`
 	// Models breaks sessions, backlog and executed units down per deployed
-	// model, sorted by name. Retired models drop out of the snapshot.
+	// model version, sorted by name then version. Retired versions drop out
+	// of the snapshot; draining ones stay until their last session releases.
 	Models []ModelStats `json:"models"`
 }
 
-// Stats reports scheduler counters (the mserve/mmodel experiments and the
-// regression suite read these).
+// Stats reports scheduler counters (the mserve/mmodel/upgrade experiments
+// and the regression suite read these).
 func (s *Server) Stats() Stats {
 	deployed := s.reg.List()
 	perModel := make([]ModelStats, len(deployed))
-	index := make(map[string]*ModelStats, len(deployed))
+	index := make(map[*registry.Deployed]*ModelStats, len(deployed))
 	for i, d := range deployed {
-		perModel[i] = ModelStats{Name: d.Model().Name, UnitsRun: d.UnitsRun()}
-		index[d.Model().Name] = &perModel[i]
+		perModel[i] = ModelStats{
+			Name:     d.Name(),
+			Version:  d.Version(),
+			Draining: d.Draining(),
+			UnitsRun: d.UnitsRun(),
+		}
+		index[d] = &perModel[i]
 	}
 	backlog := 0
 	s.mu.RLock()
 	for _, sess := range s.sessions {
-		backlog += len(sess.jobs)
-		if ms := index[sess.dep.Model().Name]; ms != nil {
+		pending := len(sess.jobs) + int(sess.claimed.Load())
+		backlog += pending
+		if ms := index[sess.dep]; ms != nil {
 			ms.Sessions++
-			ms.Backlog += len(sess.jobs)
+			ms.Backlog += pending
 		}
 	}
 	s.mu.RUnlock()

@@ -442,3 +442,215 @@ func TestSessionDeletedMidBatch(t *testing.T) {
 		t.Fatal("no request observed the session-closed failure")
 	}
 }
+
+// TestFIFODeadSessionFailsFast is the FIFO lifecycle regression: under
+// PolicyFIFO a deleted session's queued jobs used to fail only when their
+// arrival entries reached the head of the queue — a dead session behind a
+// flood waited out the whole backlog for its 410. sessionClosed must fail
+// them immediately now, well before the flood drains.
+func TestFIFODeadSessionFailsFast(t *testing.T) {
+	model, err := registry.DemoModel(11, 9) // logN 9: ~100ms units, a deep time backlog
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Options{Policy: PolicyFIFO, Workers: 1, QueueDepth: 64}, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	ctx := context.Background()
+	flood, err := NewClient(ts.URL, nil).NewSession(ctx, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := NewClient(ts.URL, nil).NewSession(ctx, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, model.InputDim)
+	const floodN = 6
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		floodLast time.Time
+	)
+	for r := 0; r < floodN; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := flood.Infer(ctx, x); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			if now := time.Now(); now.After(floodLast) {
+				floodLast = now
+			}
+			mu.Unlock()
+		}()
+	}
+	// Queue the victim's job behind the standing flood, then kill the
+	// session while most of the flood is still pending.
+	pollStats(t, srv, func(st Stats) bool { return st.Backlog >= floodN/2 }, "fifo flood backlog")
+	victimErr := make(chan error, 1)
+	go func() {
+		_, err := victim.Infer(ctx, x)
+		victimErr <- err
+	}()
+	// Every enqueued job is either pending (Backlog) or started (UnitsRun),
+	// so floodN+1 accounted jobs means the victim's job is queued — only
+	// then is the close guaranteed to hit a queued job, not the handler.
+	pollStats(t, srv, func(st Stats) bool { return st.Backlog+int(st.UnitsRun) >= floodN+1 }, "victim job queued")
+	if err := victim.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	var failedAt time.Time
+	select {
+	case gotErr = <-victimErr:
+		failedAt = time.Now()
+	case <-time.After(15 * time.Second):
+		t.Fatal("dead FIFO session's queued job still pending")
+	}
+	if gotErr == nil || !strings.Contains(gotErr.Error(), "session closed") {
+		t.Fatalf("want a session-closed failure, got: %v", gotErr)
+	}
+	wg.Wait()
+	// The 410 must have landed while the flood was still draining — not
+	// after the dead session's entry crawled to the head of the backlog.
+	mu.Lock()
+	defer mu.Unlock()
+	if !failedAt.Before(floodLast) {
+		t.Fatalf("dead session failed %s after the flood drained; FIFO must fail it immediately",
+			failedAt.Sub(floodLast))
+	}
+}
+
+// TestWeightedSessionFillsQuantum is the weighted-window regression: a
+// weight-w session's quantum is w×MaxBatch, but eligibility used to cut the
+// batch window short at a 1× backlog — the session dispatched early and
+// never filled the quantum it pays for. With the weight-aware threshold the
+// whole burst must go out in one scheduler turn.
+func TestWeightedSessionFillsQuantum(t *testing.T) {
+	model, err := registry.DemoModel(11, testLogN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 3 * time.Second
+	srv, err := New(Options{
+		MaxBatch:    2,
+		Workers:     1,
+		QueueDepth:  64,
+		BatchWindow: window,
+		Weight:      func(*http.Request) int { return 2 }, // quantum 4
+	}, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	ctx := context.Background()
+	sess, err := NewClient(ts.URL, nil).NewSession(ctx, 73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, model.InputDim)
+	start := time.Now()
+	var wg sync.WaitGroup
+	infer := func(n int) {
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := sess.Infer(ctx, x); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+	}
+	// Two jobs first — a 1× backlog, which must NOT cut the window short —
+	// then the rest of the quantum a beat later.
+	infer(2)
+	pollStats(t, srv, func(st Stats) bool { return st.Backlog == 2 }, "half quantum queued")
+	if st := srv.Stats(); st.Quanta != 0 {
+		t.Fatalf("scheduler took a turn on a half-filled weighted quantum (%d quanta)", st.Quanta)
+	}
+	infer(2)
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := srv.Stats()
+	if st.Quanta != 1 {
+		t.Fatalf("weighted burst took %d scheduler turns, want 1 full-quantum turn", st.Quanta)
+	}
+	if st.UnitsRun != 4 {
+		t.Fatalf("ran %d units, want 4", st.UnitsRun)
+	}
+	// The full quantum arriving is what ended the wait — not the window.
+	if elapsed >= window {
+		t.Fatalf("burst took %s; a full quantum must cut the %s window short", elapsed, window)
+	}
+}
+
+// TestBacklogCountsClaimedJobs is the stats regression: jobs the dispatcher
+// has claimed off the session queue but not yet pushed through the
+// zero-depth pool rendezvous were invisible to Stats.Backlog, so /v1/stats
+// could report 0 with a whole quantum still waiting for workers.
+func TestBacklogCountsClaimedJobs(t *testing.T) {
+	model, err := registry.DemoModel(11, 9) // logN 9: ~100ms units hold the worker
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One worker, a quantum larger than the burst (so only the window — not
+	// a full quantum — starts the turn, and the burst reliably queues in
+	// whole before the single turn claims it all).
+	const burst = 8
+	srv, err := New(Options{MaxBatch: 2 * burst, Workers: 1, QueueDepth: 16, BatchWindow: 2 * time.Second}, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	ctx := context.Background()
+	sess, err := NewClient(ts.URL, nil).NewSession(ctx, 74)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, model.InputDim)
+	var wg sync.WaitGroup
+	for r := 0; r < burst; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := sess.Infer(ctx, x); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	pollStats(t, srv, func(st Stats) bool { return st.Backlog == burst }, "queued burst")
+	// Once the first unit runs, the dispatcher has claimed the entire
+	// quantum: the session queue is empty, yet most of the burst has not
+	// reached a worker. The snapshot must still show it pending.
+	pollStats(t, srv, func(st Stats) bool { return st.UnitsRun >= 1 }, "first unit")
+	st := srv.Stats()
+	if int(st.UnitsRun) >= burst {
+		t.Skip("units drained before a snapshot could observe the claimed quantum")
+	}
+	if st.Backlog == 0 {
+		t.Fatal("backlog reports 0 while claimed jobs wait for the saturated worker")
+	}
+	if len(st.Models) != 1 || st.Models[0].Backlog != st.Backlog {
+		t.Fatalf("per-model backlog %+v disagrees with total %d", st.Models, st.Backlog)
+	}
+	wg.Wait()
+	pollStats(t, srv, func(st Stats) bool { return st.Backlog == 0 }, "drained backlog")
+}

@@ -2,12 +2,15 @@ package server
 
 import (
 	"crypto/rand"
+	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +60,22 @@ type Options struct {
 	Weight func(r *http.Request) int
 	// MaxSessions caps live sessions across all models. Default 64.
 	MaxSessions int
+	// MaxSessionsPerModel caps live sessions bound to any one model name
+	// (all of its versions together, so a mid-rollout model cannot double
+	// its share), stopping one popular model from monopolizing the global
+	// session table. 0 disables the per-model cap.
+	MaxSessionsPerModel int
+	// StateDir persists every deployed bundle as <name>@<version>.hemodel
+	// so a restarted server reloads its catalog: hot deploys and supersedes
+	// are saved on publish, retired and superseded versions are removed.
+	// Corrupt or truncated files in the directory are skipped with a logged
+	// warning, never a failed startup. Empty disables persistence.
+	StateDir string
+	// AdminToken guards the admin mutations (POST /v1/models and DELETE
+	// /v1/models/{name}): when set, requests must carry
+	// "Authorization: Bearer <token>" — 401 without a token, 403 with a
+	// wrong one. Empty leaves the admin endpoints open (trusted network).
+	AdminToken string
 	// SessionTTL evicts sessions idle for longer than this, so abandoned
 	// registrations cannot pin key material (or lock out new sessions)
 	// forever. Negative disables eviction. Default 30 minutes.
@@ -125,6 +144,10 @@ type session struct {
 	// lastUsed is the unix-nano timestamp of the latest request, read by
 	// the TTL janitor.
 	lastUsed atomic.Int64
+	// claimed counts jobs the dispatcher pulled off the queue but has not
+	// yet handed to the worker pool (the zero-depth Submit rendezvous can
+	// hold a claimed quantum for a while); Stats adds it to the backlog.
+	claimed atomic.Int64
 
 	// Scheduler turn state, guarded by the scheduler's mutex.
 	inRing      bool
@@ -146,6 +169,10 @@ type inferResult struct {
 
 // New builds a server and deploys the given models into its registry. A
 // server may start with no models and have them hot-deployed over HTTP.
+// With Options.StateDir set, bundles persisted by an earlier run are
+// reloaded first and an initial model whose name is already live in the
+// reloaded catalog is skipped — restarting with the same flags is
+// idempotent, the durable catalog wins.
 func New(opts Options, models ...*registry.Model) (*Server, error) {
 	opts = opts.withDefaults()
 	if opts.Policy != PolicyFair && opts.Policy != PolicyFIFO {
@@ -157,8 +184,24 @@ func New(opts Options, models ...*registry.Model) (*Server, error) {
 		sessions: map[string]*session{},
 		closed:   make(chan struct{}),
 	}
+	if opts.StateDir != "" {
+		store, err := registry.OpenStore(opts.StateDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		for _, w := range s.reg.UseStore(store) {
+			log.Printf("server: state: %v", w)
+		}
+	}
 	for _, m := range models {
 		if _, err := s.reg.Deploy(m); err != nil {
+			// With a state dir, the durable catalog wins: a startup model
+			// whose name it already holds is skipped, so restarting with
+			// the same flags is idempotent. Without one, a duplicate
+			// startup model is an operator error and fails loudly.
+			if opts.StateDir != "" && errors.Is(err, registry.ErrExists) {
+				continue
+			}
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
@@ -222,18 +265,23 @@ func (s *Server) removeSession(id string) bool {
 	return ok
 }
 
-// retireModel removes the model from the catalog and closes every session
-// bound to it: queued jobs fail 410, in-flight units finish, and the stack
-// is freed once the last reference drains.
-func (s *Server) retireModel(name string) error {
-	dep, err := s.reg.Retire(name)
+// retireModel removes model versions from the catalog ("name" retires every
+// version, "name@N" just one) and closes every session bound to them: queued
+// jobs fail 410, in-flight units finish, and each stack is freed once its
+// last reference drains.
+func (s *Server) retireModel(ref string) error {
+	deps, err := s.reg.Retire(ref)
 	if err != nil {
 		return err
+	}
+	retired := make(map[*registry.Deployed]bool, len(deps))
+	for _, d := range deps {
+		retired[d] = true
 	}
 	var bound []*session
 	s.mu.Lock()
 	for id, sess := range s.sessions {
-		if sess.dep == dep {
+		if retired[sess.dep] {
 			delete(s.sessions, id)
 			close(sess.done)
 			bound = append(bound, sess)
@@ -267,13 +315,35 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/model", s.handleModel)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/models/{name}", s.handleModelNamed)
-	mux.HandleFunc("POST /v1/models", s.handleDeploy)
-	mux.HandleFunc("DELETE /v1/models/{name}", s.handleRetire)
+	mux.HandleFunc("POST /v1/models", s.admin(s.handleDeploy))
+	mux.HandleFunc("DELETE /v1/models/{name}", s.admin(s.handleRetire))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/sessions", s.handleRegister)
 	mux.HandleFunc("POST /v1/sessions/{id}/infer", s.handleInfer)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	return mux
+}
+
+// admin guards a mutation handler with the bearer token when Options.
+// AdminToken is set: 401 (with a WWW-Authenticate challenge) when the
+// request carries no bearer token, 403 when it carries the wrong one. The
+// comparison is constant-time so the token cannot be guessed byte by byte.
+func (s *Server) admin(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.opts.AdminToken != "" {
+			tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if !ok || tok == "" {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="hennserve admin"`)
+				writeError(w, http.StatusUnauthorized, "admin endpoint: bearer token required")
+				return
+			}
+			if subtle.ConstantTimeCompare([]byte(tok), []byte(s.opts.AdminToken)) != 1 {
+				writeError(w, http.StatusForbidden, "admin endpoint: invalid token")
+				return
+			}
+		}
+		next(w, r)
+	}
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -294,18 +364,33 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// handleModel is the single-model convenience route: useful while exactly
-// one model is deployed, a pointer to /v1/models otherwise.
-func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+// live returns the catalog without draining versions — what a new session
+// can still bind to.
+func (s *Server) live() []*registry.Deployed {
 	list := s.reg.List()
-	switch len(list) {
+	out := list[:0]
+	for _, d := range list {
+		if !d.Draining() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// handleModel is the single-model convenience route: useful while exactly
+// one model is live, a pointer to /v1/models otherwise. Draining versions
+// do not count — during an upgrade rollout the sole live version still
+// resolves here.
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	live := s.live()
+	switch len(live) {
 	case 0:
 		writeError(w, http.StatusNotFound, "no models deployed")
 	case 1:
-		writeJSON(w, http.StatusOK, infoFor(list[0]))
+		writeJSON(w, http.StatusOK, infoFor(live[0]))
 	default:
 		writeError(w, http.StatusConflict,
-			"%d models deployed; list them at GET /v1/models and name one", len(list))
+			"%d models deployed; list them at GET /v1/models and name one", len(live))
 	}
 }
 
@@ -327,7 +412,11 @@ func (s *Server) handleModelNamed(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, infoFor(d))
 }
 
-// handleDeploy hot-deploys a marshaled registry.Model bundle.
+// handleDeploy hot-deploys a marshaled registry.Model bundle. With
+// ?supersede=true the bundle is published as the next version of its name
+// and every live older version drains gracefully: existing sessions keep
+// serving the old stack until they disconnect or TTL out, new registrations
+// bind the new version.
 func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	if err != nil {
@@ -344,10 +433,15 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "model bundle: %v", err)
 		return
 	}
-	d, err := s.reg.Deploy(m)
+	var d *registry.Deployed
+	if r.URL.Query().Get("supersede") == "true" {
+		d, _, err = s.reg.Supersede(m)
+	} else {
+		d, err = s.reg.Deploy(m)
+	}
 	if err != nil {
 		if errors.Is(err, registry.ErrExists) {
-			writeError(w, http.StatusConflict, "%v", err)
+			writeError(w, http.StatusConflict, "%v (POST /v1/models?supersede=true to roll the version)", err)
 			return
 		}
 		writeError(w, http.StatusBadRequest, "deploy: %v", err)
@@ -384,22 +478,23 @@ type registerResponse struct {
 	Weight    int    `json:"weight"`
 }
 
-// resolveModel picks the deployment a registration binds to. An empty name
-// is allowed only while exactly one model is deployed.
+// resolveModel picks the deployment a registration binds to. Names may be
+// versioned ("alpha@2") or bare ("alpha" — the newest live version); an
+// empty name is allowed only while exactly one model is live.
 func (s *Server) resolveModel(name string) (*registry.Deployed, int, string) {
 	if name == "" {
-		list := s.reg.List()
-		switch len(list) {
+		live := s.live()
+		switch len(live) {
 		case 0:
 			return nil, http.StatusNotFound, "no models deployed"
 		case 1:
-			return list[0], 0, ""
+			return live[0], 0, ""
 		default:
 			return nil, http.StatusBadRequest,
-				fmt.Sprintf("%d models deployed; name one (GET /v1/models)", len(list))
+				fmt.Sprintf("%d models deployed; name one (GET /v1/models)", len(live))
 		}
 	}
-	d, ok := s.reg.Get(name)
+	d, ok := s.reg.Resolve(name)
 	if !ok {
 		return nil, http.StatusNotFound, fmt.Sprintf("unknown model %q", name)
 	}
@@ -493,9 +588,16 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Weight != nil {
 		weight = min(max(s.opts.Weight(r), 1), maxSessionWeight)
 	}
-	// Bind after all validation: a racing retire fails here with a clean
-	// 410 instead of binding a session to a stack being torn down.
+	// Bind after all validation: a racing retire or supersede fails here
+	// with a clean 410 instead of binding a session to a stack being torn
+	// down (or drained behind a newer version).
 	if err := dep.Bind(); err != nil {
+		if errors.Is(err, registry.ErrDraining) {
+			writeError(w, http.StatusGone,
+				"model version %s is draining; register against %q for the newest version",
+				dep.Ref(), dep.Name())
+			return
+		}
 		writeError(w, http.StatusGone, "model %q retired", dep.Model().Name)
 		return
 	}
@@ -531,6 +633,24 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, "session limit (%d) reached", s.opts.MaxSessions)
 		return
 	}
+	if s.opts.MaxSessionsPerModel > 0 {
+		// The quota spans every version of the name: a model mid-rollout
+		// (old sessions draining on vN, new ones binding vN+1) gets one
+		// share of the table, not two.
+		n := 0
+		for _, other := range s.sessions {
+			if other.dep.Name() == dep.Name() {
+				n++
+			}
+		}
+		if n >= s.opts.MaxSessionsPerModel {
+			s.mu.Unlock()
+			dep.Release()
+			writeError(w, http.StatusTooManyRequests,
+				"model %q session limit (%d) reached", dep.Name(), s.opts.MaxSessionsPerModel)
+			return
+		}
+	}
 	s.sessions[sess.id] = sess
 	s.mu.Unlock()
 
@@ -546,7 +666,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	writeJSON(w, http.StatusOK, registerResponse{SessionID: sess.id, Model: dep.Model().Name, Weight: weight})
+	writeJSON(w, http.StatusOK, registerResponse{SessionID: sess.id, Model: dep.Ref(), Weight: weight})
 }
 
 // checkDigits rejects key material that deserialized cleanly but was built
