@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-fast bench fuzz clean-testcache serve-demo upgrade-demo
+.PHONY: all build vet fmt-check test test-fast bench bench-smoke bench-hotpath fuzz clean-testcache serve-demo upgrade-demo
 
 all: test
 
@@ -34,9 +34,23 @@ bench:
 
 # One iteration of every benchmark in the repo: not a measurement, a compile-
 # and-run smoke so perf paths (scheduler, batch inference, NTT fan-out)
-# cannot silently rot. CI runs this after the test suite.
+# cannot silently rot. CI runs this after the test suite and uploads the
+# output file as a build artifact. The redirect-then-cat dance keeps the
+# go test exit code (a `| tee` would swallow it under plain sh).
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	@$(GO) test -run '^$$' -bench . -benchtime 1x ./... > bench-smoke.txt 2>&1; \
+	status=$$?; cat bench-smoke.txt; exit $$status
+
+# The serving hot path at measurement iteration counts: hoisted vs plain
+# rotations, BSGS vs naive linear layers, batched inference — with -benchmem
+# so the rotation-layer allocation behavior is pinned alongside latency.
+# CI uploads bench-hotpath.txt as a build artifact; EXPERIMENTS.md records
+# the reference numbers.
+bench-hotpath:
+	@$(GO) test -run '^$$' \
+		-bench 'BenchmarkRotatePlain|BenchmarkRotateHoisted|BenchmarkBatchInference|BenchmarkAblationLinear' \
+		-benchmem -benchtime 3x . > bench-hotpath.txt 2>&1; \
+	status=$$?; cat bench-hotpath.txt; exit $$status
 
 # End-to-end remote encrypted inference: spins up an in-process hennserve on
 # a loopback port, registers a session over HTTP, classifies encrypted

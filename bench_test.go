@@ -103,6 +103,63 @@ func BenchmarkEvaluatorShared(b *testing.B) {
 	})
 }
 
+// --- hoisted rotations: the BSGS hot-path lever ------------------------------
+
+// newRotationBench builds an evaluator with rotation keys for one BSGS
+// baby-step block's worth of steps at serving-scale parameters.
+func newRotationBench(b *testing.B) (*ckks.Evaluator, *ckks.Ciphertext, []int) {
+	b.Helper()
+	bc := newBenchContext(b, 12, 6)
+	steps := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	kg := ckks.NewKeyGenerator(bc.params, 1)
+	sk := kg.GenSecretKey()
+	// The bench context's ciphertext was made under its own keys; re-encrypt
+	// under this secret so the rotation keys match.
+	pk := kg.GenPublicKey(sk)
+	rks := kg.GenRotationKeys(sk, steps, false)
+	bc.eval.WithRotationKeys(rks)
+	vals := make([]float64, bc.params.Slots())
+	for i := range vals {
+		vals[i] = 0.25 * float64(i%16-8) / 8
+	}
+	pt, err := bc.enc.EncodeReals(vals, bc.params.MaxLevel(), bc.params.DefaultScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bc.eval, ckks.NewEncryptor(bc.params, pk, 2).Encrypt(pt), steps
+}
+
+// BenchmarkRotatePlain and BenchmarkRotateHoisted rotate one ciphertext by
+// a full baby-step set, key-switching per rotation vs amortizing one hoisted
+// decomposition across the set — the per-layer work ApplyLinearBSGS does.
+// Run with -benchmem: the plain path also pins the allocation drop from
+// routing applyGalois's temporaries through the ring pool.
+func BenchmarkRotatePlain(b *testing.B) {
+	eval, ct, steps := newRotationBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range steps {
+			if _, err := eval.Rotate(ct, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRotateHoisted(b *testing.B) {
+	eval, ct, steps := newRotationBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := eval.DecomposeHoisted(ct)
+		for _, s := range steps {
+			if _, err := eval.RotateHoisted(dec, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		dec.Release()
+	}
+}
+
 // newBatchInferenceBench builds a deployed-MLP inference batch over one
 // shared context.
 func newBatchInferenceBench(b *testing.B, batch int) (*henn.Context, *henn.MLP, []*ckks.Ciphertext) {

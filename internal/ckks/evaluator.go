@@ -146,6 +146,48 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 	return &Ciphertext{C0: d0, C1: d1, Scale: a.Scale * b.Scale, Level: level}, nil
 }
 
+// ksAcc is one worker's key-switch accumulator set: the (c0, c1) partial
+// sums over Q and over the special prime P.
+type ksAcc struct {
+	q0, q1 *ring.Poly
+	p0, p1 *ring.Poly
+}
+
+// newKSAccs draws zeroed accumulator sets for `workers` workers.
+func (ev *Evaluator) newKSAccs(workers, level int) []ksAcc {
+	rq := ev.params.RingQ()
+	rp := ev.params.RingP()
+	accs := make([]ksAcc, workers)
+	for w := range accs {
+		accs[w] = ksAcc{
+			q0: rq.GetPoly(level), q1: rq.GetPoly(level),
+			p0: rp.GetPoly(0), p1: rp.GetPoly(0),
+		}
+	}
+	return accs
+}
+
+// mergeKSAccs folds all partial sums into accs[0] and recycles the rest.
+// Modular addition is exact and commutative, so the merged result does not
+// depend on the digit-to-worker schedule — key-switch output stays
+// bit-deterministic under any fan-out width.
+func (ev *Evaluator) mergeKSAccs(accs []ksAcc) ksAcc {
+	rq := ev.params.RingQ()
+	rp := ev.params.RingP()
+	acc := accs[0]
+	for _, a := range accs[1:] {
+		rq.Add(acc.q0, a.q0, acc.q0)
+		rq.Add(acc.q1, a.q1, acc.q1)
+		rp.Add(acc.p0, a.p0, acc.p0)
+		rp.Add(acc.p1, a.p1, acc.p1)
+		rq.PutPoly(a.q0)
+		rq.PutPoly(a.q1)
+		rp.PutPoly(a.p0)
+		rp.PutPoly(a.p1)
+	}
+	return acc
+}
+
 // keySwitch applies a gadget key (relinearization or rotation) to an
 // NTT-domain ciphertext component d2 at the given level, returning the
 // (c0, c1) correction over Q.
@@ -157,75 +199,77 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 // and the accumulated value equals P·d2·s² + small error over QP. Dividing
 // by P (exact centered mod-down, P is a single prime) yields d2·s² + tiny
 // error over Q.
+//
+// Digits are independent, so the INTT/extend/NTT/multiply-accumulate chain
+// fans across them with per-worker accumulators merged at the end — the
+// serial digit walk was the longest dependency chain left in a rotation.
+// The digit fan holds the ring's fan-out gate, so per-limb work inside each
+// worker runs serially instead of double-fanning; when the digit fan itself
+// falls back to serial (one digit, or another fan already in flight), the
+// inner loop is the plain single-worker path.
 func (ev *Evaluator) keySwitch(d2 *ring.Poly, digits []EvaluationKeyDigit, level int) (*ring.Poly, *ring.Poly) {
 	rq := ev.params.RingQ()
 	rp := ev.params.RingP()
 	n := ev.params.N()
 	p := ev.params.P()
 
-	acc0 := rq.GetPoly(level)
-	acc1 := rq.GetPoly(level)
-	acc0P := rp.GetPoly(0)
-	acc1P := rp.GetPoly(0)
-
-	digit := rq.GetScratch()
-	for i := 0; i <= level; i++ {
+	var accs []ksAcc
+	ring.ForEachWorker(level+1, (level+2)*n, func(workers int) {
+		accs = ev.newKSAccs(workers, level)
+	}, func(w, i int) {
+		acc := &accs[w]
+		digit := rq.GetScratch()
+		defer rq.PutScratch(digit)
+		ext := rq.GetScratch()
+		defer rq.PutScratch(ext)
 		copy(digit, d2.Coeffs[i])
 		rq.Moduli[i].INTT(digit)
 		evk := &digits[i]
 		qi := ev.params.Q()[i]
 
-		// Each target limb accumulates independently: jobs 0..level extend
-		// the digit to q_j, transform and multiply-accumulate into limb j of
-		// the Q accumulators; job level+1 does the same for the P limb.
-		ring.ForEachLimb(level+2, n, func(j int) {
-			ext := rq.GetScratch()
-			defer rq.PutScratch(ext)
-			if j <= level {
-				qj := rq.Moduli[j].Q
-				if qi <= qj {
-					copy(ext, digit)
-				} else {
-					for k := 0; k < n; k++ {
-						ext[k] = digit[k] % qj
-					}
-				}
-				rq.Moduli[j].NTT(ext)
-				b := evk.BQ.Coeffs[j]
-				a := evk.AQ.Coeffs[j]
-				o0 := acc0.Coeffs[j]
-				o1 := acc1.Coeffs[j]
-				for k := 0; k < n; k++ {
-					o0[k] = ring.AddMod(o0[k], ring.MulMod(ext[k], b[k], qj), qj)
-					o1[k] = ring.AddMod(o1[k], ring.MulMod(ext[k], a[k], qj), qj)
-				}
-				return
-			}
-			if qi <= p {
+		for j := 0; j <= level; j++ {
+			qj := rq.Moduli[j].Q
+			if qi <= qj {
 				copy(ext, digit)
 			} else {
 				for k := 0; k < n; k++ {
-					ext[k] = digit[k] % p
+					ext[k] = digit[k] % qj
 				}
 			}
-			rp.Moduli[0].NTT(ext)
-			bP := evk.BP.Coeffs[0]
-			aP := evk.AP.Coeffs[0]
-			o0 := acc0P.Coeffs[0]
-			o1 := acc1P.Coeffs[0]
+			rq.Moduli[j].NTT(ext)
+			b := evk.BQ.Coeffs[j]
+			a := evk.AQ.Coeffs[j]
+			o0 := acc.q0.Coeffs[j]
+			o1 := acc.q1.Coeffs[j]
 			for k := 0; k < n; k++ {
-				o0[k] = ring.AddMod(o0[k], ring.MulMod(ext[k], bP[k], p), p)
-				o1[k] = ring.AddMod(o1[k], ring.MulMod(ext[k], aP[k], p), p)
+				o0[k] = ring.AddMod(o0[k], ring.MulMod(ext[k], b[k], qj), qj)
+				o1[k] = ring.AddMod(o1[k], ring.MulMod(ext[k], a[k], qj), qj)
 			}
-		})
-	}
-	rq.PutScratch(digit)
+		}
+		if qi <= p {
+			copy(ext, digit)
+		} else {
+			for k := 0; k < n; k++ {
+				ext[k] = digit[k] % p
+			}
+		}
+		rp.Moduli[0].NTT(ext)
+		bP := evk.BP.Coeffs[0]
+		aP := evk.AP.Coeffs[0]
+		o0 := acc.p0.Coeffs[0]
+		o1 := acc.p1.Coeffs[0]
+		for k := 0; k < n; k++ {
+			o0[k] = ring.AddMod(o0[k], ring.MulMod(ext[k], bP[k], p), p)
+			o1[k] = ring.AddMod(o1[k], ring.MulMod(ext[k], aP[k], p), p)
+		}
+	})
+	acc := ev.mergeKSAccs(accs)
 
-	ev.modDownByP(acc0, acc0P, level)
-	ev.modDownByP(acc1, acc1P, level)
-	rp.PutPoly(acc0P)
-	rp.PutPoly(acc1P)
-	return acc0, acc1
+	ev.modDownByP(acc.q0, acc.p0, level)
+	ev.modDownByP(acc.q1, acc.p1, level)
+	rp.PutPoly(acc.p0)
+	rp.PutPoly(acc.p1)
+	return acc.q0, acc.q1
 }
 
 // modDownByP divides accQ (NTT domain over Q_level) by P in place, consuming

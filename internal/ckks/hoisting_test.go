@@ -1,0 +1,239 @@
+package ckks
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/efficientfhe/smartpaf/internal/ring"
+)
+
+// TestGaloisNTTIndexMatchesCoefficientAutomorphism pins the NTT-domain
+// permutation tables against the definitional coefficient-domain
+// automorphism: for random polynomials and every Galois element the hoisted
+// path uses, permuting NTT(a) must equal NTT(φ_k(a)) bit-exactly.
+func TestGaloisNTTIndexMatchesCoefficientAutomorphism(t *testing.T) {
+	tc := newTestContext(t, testLit)
+	rq := tc.params.RingQ()
+	n := tc.params.N()
+	level := tc.params.MaxLevel()
+	rng := rand.New(rand.NewSource(51))
+
+	elements := []int{tc.params.galoisElement(1), tc.params.galoisElement(3),
+		tc.params.galoisElement(tc.params.Slots() - 2), 2*n - 1}
+	for _, k := range elements {
+		a := rq.NewPoly(level)
+		for i := range a.Coeffs {
+			q := rq.Moduli[i].Q
+			for j := 0; j < n; j++ {
+				a.Coeffs[i][j] = rng.Uint64() % q
+			}
+		}
+		// Reference: automorphism in coefficient domain, then NTT.
+		want := rq.NewPoly(level)
+		applyAutomorphism(rq, a, k, want)
+		rq.NTT(want)
+		// Hoisted path: NTT first, then the slot permutation.
+		ntt := a.CopyNew()
+		rq.NTT(ntt)
+		idx := tc.params.galoisNTTIndex(k)
+		got := rq.NewPoly(level)
+		for i := range got.Coeffs {
+			for j := 0; j < n; j++ {
+				got.Coeffs[i][j] = ntt.Coeffs[i][idx[j]]
+			}
+		}
+		if !got.Equal(want) {
+			t.Fatalf("k=%d: NTT-domain permutation differs from coefficient automorphism", k)
+		}
+	}
+}
+
+// TestRotateHoistedMatchesRotate checks the hoisted rotation against the
+// plain path and the expected plaintext shift for a full rotation set,
+// including negative and wrapped steps, all sharing one decomposition.
+func TestRotateHoistedMatchesRotate(t *testing.T) {
+	slots := 64 // testLit has LogN 7
+	steps := []int{1, 3, 7, 13, 31, slots - 1, -2, -slots + 5, slots + 5}
+	tc, _ := newRotationContext(t, steps, false)
+	rng := rand.New(rand.NewSource(52))
+	values := randomComplex(rng, slots, 1)
+	pt, _ := tc.enc.Encode(values, tc.params.MaxLevel(), tc.params.DefaultScale())
+	ct := tc.encr.Encrypt(pt)
+
+	dec := tc.eval.DecomposeHoisted(ct)
+	defer dec.Release()
+	for _, step := range steps {
+		hoisted, err := tc.eval.RotateHoisted(dec, step)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		plain, err := tc.eval.Rotate(ct, step)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if hoisted.Level != plain.Level || hoisted.Scale != plain.Scale {
+			t.Fatalf("step %d: hoisted (level %d, scale %g) vs plain (level %d, scale %g)",
+				step, hoisted.Level, hoisted.Scale, plain.Level, plain.Scale)
+		}
+		want := make([]complex128, slots)
+		for i := range want {
+			want[i] = values[((i+step)%slots+slots)%slots]
+		}
+		gh := tc.enc.Decode(tc.decr.Decrypt(hoisted))
+		gp := tc.enc.Decode(tc.decr.Decrypt(plain))
+		if e := maxErr(want, gh); e > 1e-4 {
+			t.Fatalf("step %d: hoisted rotation error %g", step, e)
+		}
+		if e := maxErr(gp, gh); e > 1e-4 {
+			t.Fatalf("step %d: hoisted differs from plain by %g", step, e)
+		}
+	}
+}
+
+// TestRotateHoistedZeroAndErrors covers the degenerate paths: step 0 copies,
+// missing keys error exactly like the plain path.
+func TestRotateHoistedZeroAndErrors(t *testing.T) {
+	tc, _ := newRotationContext(t, []int{1}, false)
+	pt, _ := tc.enc.Encode(make([]complex128, tc.params.Slots()), 1, tc.params.DefaultScale())
+	ct := tc.encr.Encrypt(pt)
+	dec := tc.eval.DecomposeHoisted(ct)
+	defer dec.Release()
+
+	zero, err := tc.eval.RotateHoisted(dec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctEqual(zero, ct) {
+		t.Fatal("zero-step hoisted rotation is not an exact copy")
+	}
+	if _, err := tc.eval.RotateHoisted(dec, 5); err == nil {
+		t.Fatal("expected missing-key error")
+	}
+	bare := NewEvaluator(tc.params, tc.rlk)
+	bareDec := bare.DecomposeHoisted(ct)
+	defer bareDec.Release()
+	if _, err := bare.RotateHoisted(bareDec, 1); err == nil {
+		t.Fatal("expected no-keys error")
+	}
+	if _, err := bare.ConjugateHoisted(bareDec); err == nil {
+		t.Fatal("expected no-conjugation-key error")
+	}
+}
+
+// TestConjugateHoistedMatchesConjugate checks hoisted conjugation against
+// the plain path.
+func TestConjugateHoistedMatchesConjugate(t *testing.T) {
+	tc, _ := newRotationContext(t, nil, true)
+	rng := rand.New(rand.NewSource(53))
+	values := randomComplex(rng, tc.params.Slots(), 1)
+	pt, _ := tc.enc.Encode(values, tc.params.MaxLevel(), tc.params.DefaultScale())
+	ct := tc.encr.Encrypt(pt)
+
+	dec := tc.eval.DecomposeHoisted(ct)
+	defer dec.Release()
+	hoisted, err := tc.eval.ConjugateHoisted(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := tc.eval.Conjugate(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gh := tc.enc.Decode(tc.decr.Decrypt(hoisted))
+	gp := tc.enc.Decode(tc.decr.Decrypt(plain))
+	if e := maxErr(gp, gh); e > 1e-4 {
+		t.Fatalf("hoisted conjugation differs from plain by %g", e)
+	}
+}
+
+// TestRotateHoistedAtLowerLevel exercises a decomposition built from a
+// rescaled (lower-level) ciphertext — the state BSGS hits after the first
+// layer of a deep model.
+func TestRotateHoistedAtLowerLevel(t *testing.T) {
+	tc, _ := newRotationContext(t, []int{2}, false)
+	rng := rand.New(rand.NewSource(54))
+	values := randomComplex(rng, tc.params.Slots(), 0.5)
+	pt, _ := tc.enc.Encode(values, tc.params.MaxLevel(), tc.params.DefaultScale())
+	ct := tc.encr.Encrypt(pt)
+	sq, err := tc.eval.MulRelinRescale(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dec := tc.eval.DecomposeHoisted(sq)
+	defer dec.Release()
+	hoisted, err := tc.eval.RotateHoisted(dec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := tc.eval.Rotate(sq, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gh := tc.enc.Decode(tc.decr.Decrypt(hoisted))
+	gp := tc.enc.Decode(tc.decr.Decrypt(plain))
+	if e := maxErr(gp, gh); e > 1e-4 {
+		t.Fatalf("lower-level hoisted rotation differs from plain by %g", e)
+	}
+}
+
+// TestRotateHoistedConcurrentSharedEvaluator drives hoisted rotations from
+// many goroutines over one shared evaluator — each worker with its own
+// per-call decomposition, plus one read-only decomposition shared by all —
+// under the race detector via `make test`. Results must be bit-identical to
+// the serial reference (the digit fan's modular merge is order-independent).
+func TestRotateHoistedConcurrentSharedEvaluator(t *testing.T) {
+	steps := []int{1, 3, 7, -2}
+	tc, _ := newRotationContext(t, steps, false)
+	rng := rand.New(rand.NewSource(55))
+	values := randomComplex(rng, tc.params.Slots(), 1)
+	pt, _ := tc.enc.Encode(values, tc.params.MaxLevel(), tc.params.DefaultScale())
+	ct := tc.encr.Encrypt(pt)
+
+	shared := tc.eval.DecomposeHoisted(ct)
+	defer shared.Release()
+	want := make(map[int]*Ciphertext, len(steps))
+	for _, s := range steps {
+		r, err := tc.eval.RotateHoisted(shared, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[s] = r
+	}
+
+	for _, fanOut := range []int{1, 4} {
+		ring.SetParallelism(fanOut)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				own := tc.eval.DecomposeHoisted(ct)
+				defer own.Release()
+				for r := 0; r < 3; r++ {
+					for _, s := range steps {
+						dec := shared
+						if g%2 == 0 {
+							dec = own
+						}
+						got, err := tc.eval.RotateHoisted(dec, s)
+						if err != nil {
+							t.Errorf("step %d: %v", s, err)
+							return
+						}
+						if !ctEqual(got, want[s]) {
+							t.Errorf("fanOut=%d step %d: concurrent hoisted rotation differs from serial", fanOut, s)
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+	ring.SetParallelism(0)
+	if t.Failed() {
+		t.FailNow()
+	}
+}

@@ -21,6 +21,8 @@ package ckks
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"sync"
 
 	"github.com/efficientfhe/smartpaf/internal/ring"
 )
@@ -51,6 +53,11 @@ type Parameters struct {
 	// pInvModQ[j] = P^{-1} mod q_j; pModQ[j] = P mod q_j.
 	pInvModQ []uint64
 	pModQ    []uint64
+
+	// galoisIdx caches the NTT-domain slot permutation of each Galois
+	// automorphism (k -> []int32), built lazily on first use. Read-mostly, so
+	// a sync.Map keeps Parameters shareable across goroutines.
+	galoisIdx sync.Map
 }
 
 // NewParameters compiles a literal into concrete primes and rings.
@@ -122,6 +129,36 @@ func (p *Parameters) precompute() {
 		p.pModQ[l] = p.p % p.qi[l]
 		p.pInvModQ[l] = ring.InvMod(p.pModQ[l], p.qi[l])
 	}
+}
+
+// galoisNTTIndex returns the permutation table applying the automorphism
+// X→X^k directly in the NTT domain: out[t] = in[tab[t]] per limb. The
+// bit-reversed negacyclic NTT stores at slot t the evaluation at
+// ψ^(2·bitrev(t)+1); the automorphism moves to that slot the evaluation at
+// exponent k·(2·bitrev(t)+1) mod 2N, which is again odd (k is odd), so the
+// permutation needs no sign fix-ups — the coefficient-domain negations are
+// absorbed by the evaluation-point relabeling. Tables are built once per
+// Galois element and cached.
+func (p *Parameters) galoisNTTIndex(k int) []int32 {
+	if v, ok := p.galoisIdx.Load(k); ok {
+		return v.([]int32)
+	}
+	n := p.N()
+	logN := p.logN
+	mask := 2*n - 1
+	tab := make([]int32, n)
+	for t := 0; t < n; t++ {
+		e := 2*int(bitRev(uint64(t), logN)) + 1
+		src := (e * k) & mask
+		tab[t] = int32(bitRev(uint64((src-1)>>1), logN))
+	}
+	v, _ := p.galoisIdx.LoadOrStore(k, tab)
+	return v.([]int32)
+}
+
+// bitRev reverses the lowest nbits bits of v.
+func bitRev(v uint64, nbits int) uint64 {
+	return bits.Reverse64(v) >> (64 - nbits)
 }
 
 // N returns the ring degree.

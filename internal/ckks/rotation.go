@@ -46,23 +46,22 @@ func (rks *RotationKeySet) Key(step int) (*SwitchingKey, bool) {
 func (rks *RotationKeySet) ConjugationKey() *SwitchingKey { return rks.conjugation }
 
 // galoisElement returns the Galois exponent k of X→X^k implementing a left
-// rotation of the slot vector by step positions: k = 5^step mod 2N.
+// rotation of the slot vector by step positions: k = 5^step mod 2N, by
+// square-and-multiply — Rotate computes this per call, so the O(step) naive
+// power loop was hot-path work at large ring sizes.
 func (p *Parameters) galoisElement(step int) int {
 	m := 2 * p.N()
 	step = ((step % (m / 4)) + m/4) % (m / 4) // rotations are mod N/2 slots
-	k := 1
-	for i := 0; i < step; i++ {
-		k = k * 5 % m
-	}
-	return k
+	return int(ring.PowMod(5, uint64(step), uint64(m)))
 }
 
 // applyAutomorphism computes out(X) = in(X^k) in coefficient domain, per
 // limb: coefficient i maps to index i·k mod 2N, negated when it crosses N.
-func applyAutomorphism(r *ring.Ring, in *ring.Poly, k int) *ring.Poly {
+// The map is a bijection on [0, N), so every coefficient of out is written;
+// out may come from GetPolyRaw. out must not alias in.
+func applyAutomorphism(r *ring.Ring, in *ring.Poly, k int, out *ring.Poly) {
 	n := r.N
 	m := 2 * n
-	out := r.NewPoly(in.Level())
 	for limb := range in.Coeffs {
 		q := r.Moduli[limb].Q
 		src := in.Coeffs[limb]
@@ -76,7 +75,6 @@ func applyAutomorphism(r *ring.Ring, in *ring.Poly, k int) *ring.Poly {
 			}
 		}
 	}
-	return out
 }
 
 // genSwitchingKey builds a switching key from sourceQ (NTT domain, the key
@@ -171,7 +169,8 @@ func (kg *KeyGenerator) GenRotationKeys(sk *SecretKey, steps []int, conjugation 
 			samplerP: ring.NewSampler(kg.params.RingP(), deriveSeed(kg.seed, int64(k))^0x5eed),
 		}
 		// Source secret φ_k(s) in NTT domain over Q.
-		srcQ := applyAutomorphism(rq, skCoeff, k)
+		srcQ := rq.NewPoly(skCoeff.Level())
+		applyAutomorphism(rq, skCoeff, k, srcQ)
 		rq.NTT(srcQ)
 		generated[i] = sub.genSwitchingKey(sk, srcQ)
 		return nil
@@ -225,25 +224,41 @@ func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
 	return ev.applyGalois(ct, 2*ev.params.N()-1, ev.rks.conjugation)
 }
 
-// applyGalois maps (c0, c1) to (φ(c0) + KS(φ(c1))) under the switching key
-// for φ(s).
+// applyGalois maps (c0, c1) to (φ(c0) + KS(φ(c1)), KS(φ(c1))) under the
+// switching key for φ(s). All temporaries come from the ring pool: one
+// coefficient-domain scratch serves both components, the automorphism
+// destinations are fully overwritten (so raw pool polys suffice), and the
+// two polys that survive into the result are simply never returned.
 func (ev *Evaluator) applyGalois(ct *Ciphertext, k int, swk *SwitchingKey) (*Ciphertext, error) {
 	rq := ev.params.RingQ()
 	level := ct.Level
 
-	c0 := ct.C0.CopyNew()
-	rq.INTT(c0)
-	c0 = applyAutomorphism(rq, c0, k)
-	rq.NTT(c0)
-
-	c1 := ct.C1.CopyNew()
-	rq.INTT(c1)
-	c1 = applyAutomorphism(rq, c1, k)
+	tmp := rq.GetPolyRaw(level)
+	copyLimbs(tmp, ct.C1, level)
+	rq.INTT(tmp)
+	c1 := rq.GetPolyRaw(level)
+	applyAutomorphism(rq, tmp, k, c1)
 	rq.NTT(c1)
 
 	ks0, ks1 := ev.keySwitch(c1, swk.Digits, level)
-	out := &Ciphertext{C0: rq.NewPoly(level), C1: ks1, Scale: ct.Scale, Level: level}
+	rq.PutPoly(c1)
+
+	copyLimbs(tmp, ct.C0, level)
+	rq.INTT(tmp)
+	c0 := rq.GetPolyRaw(level)
+	applyAutomorphism(rq, tmp, k, c0)
+	rq.NTT(c0)
+	rq.PutPoly(tmp)
+
+	out := &Ciphertext{C0: c0, C1: ks1, Scale: ct.Scale, Level: level}
 	rq.Add(c0, ks0, out.C0)
 	rq.PutPoly(ks0)
 	return out, nil
+}
+
+// copyLimbs copies limbs 0..level of src into dst.
+func copyLimbs(dst, src *ring.Poly, level int) {
+	for i := 0; i <= level; i++ {
+		copy(dst.Coeffs[i], src.Coeffs[i])
+	}
 }

@@ -154,6 +154,39 @@ func TestRotateComposesWithArithmetic(t *testing.T) {
 	}
 }
 
+// TestGaloisElementMatchesNaivePowerLoop pins the square-and-multiply
+// galoisElement against the definitional O(step) power loop for every step
+// in [0, slots) at several ring sizes (plus negative and wrapped steps).
+func TestGaloisElementMatchesNaivePowerLoop(t *testing.T) {
+	naive := func(p *Parameters, step int) int {
+		m := 2 * p.N()
+		step = ((step % (m / 4)) + m/4) % (m / 4)
+		k := 1
+		for i := 0; i < step; i++ {
+			k = k * 5 % m
+		}
+		return k
+	}
+	for _, logN := range []int{5, 7, 10} {
+		params, err := NewParameters(ParametersLiteral{
+			LogN: logN, LogQ: []int{50, 40}, LogP: 55, LogScale: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots := params.Slots()
+		for step := 0; step < slots; step++ {
+			if got, want := params.galoisElement(step), naive(params, step); got != want {
+				t.Fatalf("logN=%d step=%d: galoisElement=%d naive=%d", logN, step, got, want)
+			}
+		}
+		for _, step := range []int{-1, -slots + 3, slots, 3*slots + 5} {
+			if got, want := params.galoisElement(step), naive(params, step); got != want {
+				t.Fatalf("logN=%d step=%d: galoisElement=%d naive=%d", logN, step, got, want)
+			}
+		}
+	}
+}
+
 // TestGenRotationKeysDeterministic pins the parallel key generation design:
 // every switching key draws from a stream derived from (seed, Galois
 // element), so the set is bit-identical across runs, step orderings and

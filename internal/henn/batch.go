@@ -14,9 +14,10 @@ import (
 // 0 or 1 is the serial path, negative uses all cores. Results are returned
 // in input order; the first error stops the remaining work and is returned.
 func (ctx *Context) InferBatch(mlp *MLP, cts []*ckks.Ciphertext, workers int) ([]*ckks.Ciphertext, error) {
+	infer := ctx.inferPath(mlp)
 	out := make([]*ckks.Ciphertext, len(cts))
 	err := parallel.For(len(cts), parallel.Workers(workers), func(i int) error {
-		res, err := ctx.Infer(mlp, cts[i])
+		res, err := infer(mlp, cts[i])
 		if err != nil {
 			return fmt.Errorf("henn: batch item %d: %w", i, err)
 		}
@@ -42,5 +43,16 @@ type Unit struct {
 	CT  *ckks.Ciphertext
 }
 
-// Run executes the unit.
-func (u Unit) Run() (*ckks.Ciphertext, error) { return u.Ctx.Infer(u.MLP, u.CT) }
+// Run executes the unit on the model's serving path (see MLP.PreferBSGS):
+// the session's rotation keys were generated for exactly that path's steps.
+func (u Unit) Run() (*ckks.Ciphertext, error) { return u.Ctx.inferPath(u.MLP)(u.MLP, u.CT) }
+
+// inferPath picks the evaluation method matching the model's advertised
+// rotation set — BSGS with hoisted baby rotations when it needs fewer keys,
+// the naive diagonal method otherwise.
+func (ctx *Context) inferPath(mlp *MLP) func(*MLP, *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	if mlp.PreferBSGS(ctx.Params.Slots()) {
+		return ctx.InferBSGS
+	}
+	return ctx.Infer
+}

@@ -23,7 +23,9 @@ func batchTestMLP(t testing.TB) (*Context, *MLP, *ckks.Encryptor, *ckks.Decrypto
 	}
 	act := &Activation{PAF: paf.MustNew(paf.FormF1G2), Scale: 2}
 	mlp := &MLP{Layers: []any{lin, act}}
-	ctx, encryptor, decryptor := newHEContext(t, mlp.LevelsRequired()+1, mlp.RequiredRotations(128))
+	// ServingRotations: InferBatch takes the same path the scheduler does
+	// (BSGS with hoisting when it needs fewer keys), so generate that set.
+	ctx, encryptor, decryptor := newHEContext(t, mlp.LevelsRequired()+1, mlp.ServingRotations(128))
 	return ctx, mlp, encryptor, decryptor
 }
 

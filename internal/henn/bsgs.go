@@ -57,6 +57,25 @@ func (mlp *MLP) RequiredRotationsBSGS(slots int) []int {
 	return out
 }
 
+// PreferBSGS reports whether the BSGS method needs fewer rotation keys than
+// the naive diagonal method for this model at the given slot count. The
+// serving stack keys its path choice off this one predicate: the registry
+// advertises the matching rotation set, clients generate keys for it, and
+// Unit.Run / InferBatch evaluate with the same method — they must agree, or
+// inference fails on a missing key.
+func (mlp *MLP) PreferBSGS(slots int) bool {
+	return len(mlp.RequiredRotationsBSGS(slots)) < len(mlp.RequiredRotations(slots))
+}
+
+// ServingRotations returns the rotation-step set of the evaluation path the
+// serving stack takes for this model (see PreferBSGS).
+func (mlp *MLP) ServingRotations(slots int) []int {
+	if mlp.PreferBSGS(slots) {
+		return mlp.RequiredRotationsBSGS(slots)
+	}
+	return mlp.RequiredRotations(slots)
+}
+
 // bsgsBlocks returns the baby indices and giant block indices with any
 // non-zero diagonal.
 func (l *Linear) bsgsBlocks(slots, n1 int) (babies, giants map[int]bool) {
@@ -88,13 +107,19 @@ func (ctx *Context) ApplyLinearBSGS(l *Linear, ct *ckks.Ciphertext) (*ckks.Ciphe
 		return nil, fmt.Errorf("henn: all-zero weight matrix")
 	}
 
-	// Baby rotations, computed lazily.
+	// Baby rotations, computed lazily against one hoisted decomposition of
+	// the input: every baby step shares the digit decomposition of ct's c1,
+	// so each rotation after the first costs only the permuted key
+	// multiply-accumulate. The giant rotations act on per-block inner sums —
+	// all distinct ciphertexts — so they stay on the plain path.
+	dec := ctx.Eval.DecomposeHoisted(ct)
+	defer dec.Release()
 	babyCache := map[int]*ckks.Ciphertext{0: ct}
 	baby := func(b int) (*ckks.Ciphertext, error) {
 		if r, ok := babyCache[b]; ok {
 			return r, nil
 		}
-		r, err := ctx.Eval.Rotate(ct, b)
+		r, err := ctx.Eval.RotateHoisted(dec, b)
 		if err != nil {
 			return nil, err
 		}

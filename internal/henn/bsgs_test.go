@@ -3,8 +3,10 @@ package henn
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
+	"github.com/efficientfhe/smartpaf/internal/ckks"
 	"github.com/efficientfhe/smartpaf/internal/paf"
 )
 
@@ -82,6 +84,133 @@ func TestBSGSNeedsFewerRotations(t *testing.T) {
 	if bsgs > 4*int(math.Sqrt(float64(slots))) {
 		t.Fatalf("BSGS rotation count %d far above O(√slots)", bsgs)
 	}
+}
+
+// TestHoistedRotationEquivalenceOnModelRotationSet is the serving-path
+// equivalence suite: for every rotation step a deployed model's BSGS plan
+// prescribes — plus negative and wrapped variants — the hoisted rotation
+// must agree with plain Rotate within the precision harness bound, with
+// many goroutines sharing one evaluator and one read-only decomposition
+// (run under -race via `make test`).
+func TestHoistedRotationEquivalenceOnModelRotationSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	mlp := &MLP{Layers: []any{
+		randomLinear(rng, 20, 12),
+		&Activation{PAF: paf.MustNew(paf.FormF1G2), Scale: 4},
+		randomLinear(rng, 12, 6),
+	}}
+	slots := 128
+	prescribed := mlp.RequiredRotationsBSGS(slots)
+	if len(prescribed) == 0 {
+		t.Fatal("model prescribes no rotations")
+	}
+	// Negative and wrapped variants normalize onto the same key set.
+	steps := append([]int(nil), prescribed...)
+	steps = append(steps, prescribed[0]-slots, prescribed[len(prescribed)-1]+slots)
+	ctx, encryptor, decryptor := newHEContext(t, 2, prescribed)
+
+	values := make([]float64, slots)
+	for i := range values {
+		values[i] = rng.Float64()*2 - 1
+	}
+	pt, err := ctx.Enc.EncodeReals(values, ctx.Params.MaxLevel(), ctx.Params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := encryptor.Encrypt(pt)
+
+	dec := ctx.Eval.DecomposeHoisted(ct)
+	defer dec.Release()
+	check := func(step int) error {
+		hoisted, err := ctx.Eval.RotateHoisted(dec, step)
+		if err != nil {
+			return err
+		}
+		plain, err := ctx.Eval.Rotate(ct, step)
+		if err != nil {
+			return err
+		}
+		gh := ctx.Enc.DecodeReals(decryptor.Decrypt(hoisted))
+		gp := ctx.Enc.DecodeReals(decryptor.Decrypt(plain))
+		for i := 0; i < slots; i++ {
+			want := values[((i+step)%slots+slots)%slots]
+			if d := math.Abs(gh[i] - want); d > 1e-4 {
+				t.Errorf("step %d slot %d: hoisted off plaintext by %g", step, i, d)
+				return nil
+			}
+			if d := math.Abs(gh[i] - gp[i]); d > 1e-4 {
+				t.Errorf("step %d slot %d: hoisted differs from plain by %g", step, i, d)
+				return nil
+			}
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, step := range steps {
+				if err := check(step); err != nil {
+					t.Errorf("step %d: %v", step, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestApplyLinearBSGSConcurrent runs the hoisted BSGS layer from many
+// goroutines over one shared context, checking each result against the
+// plaintext reference — the batched-serving shape, under -race.
+func TestApplyLinearBSGSConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	lin := randomLinear(rng, 24, 16)
+	mlp := &MLP{Layers: []any{lin}}
+	slots := 128
+	ctx, encryptor, decryptor := newHEContext(t, 2, mlp.RequiredRotationsBSGS(slots))
+
+	const workers = 4
+	inputs := make([][]float64, workers)
+	cts := make([]*ckks.Ciphertext, workers)
+	for g := range cts {
+		x := make([]float64, 24)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		inputs[g] = x
+		vec := make([]float64, ctx.Params.Slots())
+		copy(vec, x)
+		pt, err := ctx.Enc.EncodeReals(vec, ctx.Params.MaxLevel(), ctx.Params.DefaultScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts[g] = encryptor.Encrypt(pt)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out, err := ctx.ApplyLinearBSGS(lin, cts[g])
+			if err != nil {
+				t.Errorf("worker %d: %v", g, err)
+				return
+			}
+			got := ctx.Enc.DecodeReals(decryptor.Decrypt(out))
+			want := mlp.InferPlain(inputs[g])
+			for i := 0; i < lin.Out; i++ {
+				if d := math.Abs(got[i] - want[i]); d > 1e-4 {
+					t.Errorf("worker %d output %d off by %g", g, i, d)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 func TestInferBSGSEndToEnd(t *testing.T) {

@@ -325,10 +325,13 @@ func compile(m *Model) (*Deployed, error) {
 		enc:        ckks.NewEncoder(params),
 		paramBytes: paramBytes,
 		levels:     need,
-		// RequiredRotations builds (and caches) every linear layer's diagonal
-		// plan, so the first inference after a hot deploy does not pay the
-		// O(slots·Out) plan derivation.
-		rotations: m.MLP.RequiredRotations(slots),
+		// ServingRotations advertises the step set of the path Unit.Run will
+		// take (BSGS with hoisted rotations when it needs fewer keys), so
+		// clients generate exactly the keys inference uses. Deriving it also
+		// builds (and caches) every linear layer's diagonal plan, so the first
+		// inference after a hot deploy does not pay the O(slots·Out) plan
+		// derivation.
+		rotations: m.MLP.ServingRotations(slots),
 		drained:   make(chan struct{}),
 	}, nil
 }

@@ -94,6 +94,53 @@ func ForEachLimb(jobs, costPerJob int, f func(i int)) {
 	wg.Wait()
 }
 
+// ForEachWorker runs f(w, i) for every i in [0, jobs) like ForEachLimb, but
+// passes the executing worker's identity w so callers can keep per-worker
+// state (the key-switch digit fan accumulates into per-worker polynomials
+// and merges once at the end). setup is called exactly once, before any f,
+// with the number of workers that will run — 1 on the serial path — and
+// worker indices passed to f are in [0, workers). Job-to-worker assignment
+// is dynamic and unspecified; callers must only depend on the merged result
+// (exact modular accumulation is order-independent, so key-switch output
+// stays bit-deterministic). The parallel path holds the fan-out gate, so
+// ForEachLimb calls nested inside f run serially instead of double-fanning.
+func ForEachWorker(jobs, costPerJob int, setup func(workers int), f func(worker, i int)) {
+	w := Parallelism()
+	if w > jobs {
+		w = jobs
+	}
+	if w <= 1 || jobs*costPerJob < MinParallelWork ||
+		!fanOutActive.CompareAndSwap(0, 1) {
+		setup(1)
+		for i := 0; i < jobs; i++ {
+			f(0, i)
+		}
+		return
+	}
+	defer fanOutActive.Store(0)
+	setup(w)
+	var next atomic.Int64
+	worker := func(id int) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= jobs {
+				return
+			}
+			f(id, i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for g := 1; g < w; g++ {
+		go func(id int) {
+			defer wg.Done()
+			worker(id)
+		}(g)
+	}
+	worker(0)
+	wg.Wait()
+}
+
 // forLimbs fans f over the limbs 0..level of a ring, costing each limb at
 // the ring degree. This is the common entry point for limb-wise poly ops.
 func (r *Ring) forLimbs(level int, f func(i int)) {

@@ -78,6 +78,76 @@ func TestForEachLimbConcurrentCallers(t *testing.T) {
 	}
 }
 
+func TestForEachWorkerCoversEveryIndexOnce(t *testing.T) {
+	defer SetParallelism(0)
+	for _, workers := range []int{1, 2, 4, 16} {
+		SetParallelism(workers)
+		for _, jobs := range []int{1, 3, 7, 64} {
+			counts := make([]atomic.Int32, jobs)
+			var setupWorkers atomic.Int32
+			var setupCalls atomic.Int32
+			ForEachWorker(jobs, MinParallelWork, func(w int) {
+				setupCalls.Add(1)
+				setupWorkers.Store(int32(w))
+				if w < 1 || w > min(workers, jobs) {
+					t.Errorf("workers=%d jobs=%d: setup got width %d", workers, jobs, w)
+				}
+			}, func(w, i int) {
+				if int32(w) >= setupWorkers.Load() {
+					t.Errorf("worker id %d out of announced range %d", w, setupWorkers.Load())
+				}
+				counts[i].Add(1)
+			})
+			if setupCalls.Load() != 1 {
+				t.Fatalf("setup called %d times, want 1", setupCalls.Load())
+			}
+			for i := 0; i < jobs; i++ {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d jobs=%d: index %d ran %d times", workers, jobs, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachWorkerSerialFallback(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(8)
+	// Below the work threshold: one worker, in-order, on the caller.
+	var order []int
+	ForEachWorker(4, 1, func(w int) {
+		if w != 1 {
+			t.Fatalf("serial fallback announced %d workers", w)
+		}
+	}, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("serial fallback used worker id %d", w)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial fallback ran out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachWorkerNestedLimbFanStaysSerial(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(4)
+	var total atomic.Int32
+	ForEachWorker(4, MinParallelWork, func(w int) {}, func(w, i int) {
+		// The worker fan holds the gate, so the nested limb fan must run
+		// serially rather than spawning a second tier of goroutines.
+		ForEachLimb(4, MinParallelWork, func(j int) {
+			total.Add(1)
+		})
+	})
+	if total.Load() != 16 {
+		t.Fatalf("nested fan ran %d inner jobs, want 16", total.Load())
+	}
+}
+
 // --- parallel vs serial bit-identity ------------------------------------------
 
 func TestRingOpsParallelMatchSerial(t *testing.T) {
