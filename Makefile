@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-fast bench bench-smoke bench-hotpath fuzz clean-testcache serve-demo upgrade-demo
+.PHONY: all build vet fmt-check lint test test-fast bench bench-smoke bench-hotpath fuzz clean-testcache serve-demo upgrade-demo
 
 all: test
 
@@ -9,6 +9,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet plus hennlint, the repo's own invariant
+# analyzers (pool acquire/release pairing, registry refcount balance,
+# math/rand scoping, constant-time secret comparison, wire-format magic
+# and length bounds). See internal/lint and `go run ./cmd/hennlint -list`.
+lint: vet
+	$(GO) run ./cmd/hennlint ./...
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \

@@ -1,0 +1,55 @@
+// Command hennlint runs the repository's custom invariant analyzers
+// (internal/lint) over the given package patterns and exits non-zero on
+// any finding. It is the `make lint` workhorse and a CI gate.
+//
+// Usage:
+//
+//	hennlint [packages...]        # defaults to ./...
+//	hennlint -list                # print the analyzer suite and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/efficientfhe/smartpaf/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hennlint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hennlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hennlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hennlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -207,6 +207,8 @@ func (ev *Evaluator) mergeKSAccs(accs []ksAcc) ksAcc {
 // worker runs serially instead of double-fanning; when the digit fan itself
 // falls back to serial (one digit, or another fan already in flight), the
 // inner loop is the plain single-worker path.
+//
+//hennlint:transfers-ownership both returned polys are pooled; the caller must PutPoly them
 func (ev *Evaluator) keySwitch(d2 *ring.Poly, digits []EvaluationKeyDigit, level int) (*ring.Poly, *ring.Poly) {
 	rq := ev.params.RingQ()
 	rp := ev.params.RingP()

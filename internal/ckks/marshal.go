@@ -18,6 +18,30 @@ import (
 
 const marshalMagic = uint32(0x5AF7CC05)
 
+// Per-object magics: every wire format leads with its own constant so a
+// mis-routed or corrupted payload is rejected at the front door instead
+// of deep inside a length-prefixed structure (enforced by hennlint's
+// wiremagic analyzer). 0x5AF7CC06 is rotationKeyMagic below; 07 and 08
+// belong to the henn and registry packages.
+const (
+	ciphertextMagic   = uint32(0x5AF7CC09)
+	publicKeyMagic    = uint32(0x5AF7CC0A)
+	relinKeyMagic     = uint32(0x5AF7CC0B)
+	switchingKeyMagic = uint32(0x5AF7CC0C)
+)
+
+// readMagic consumes and checks a leading magic constant.
+func readMagic(r io.Reader, want uint32, what string) error {
+	magic, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if magic != want {
+		return fmt.Errorf("ckks: bad %s magic %#x", what, magic)
+	}
+	return nil
+}
+
 func writeU32(w io.Writer, v uint32) error { return binary.Write(w, binary.LittleEndian, v) }
 func writeU64(w io.Writer, v uint64) error { return binary.Write(w, binary.LittleEndian, v) }
 func readU32(r io.Reader) (uint32, error) {
@@ -137,6 +161,9 @@ func (lit *ParametersLiteral) UnmarshalBinary(data []byte) error {
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
 	var buf bytes.Buffer
+	if err := writeU32(&buf, ciphertextMagic); err != nil {
+		return nil, err
+	}
 	if err := writeU32(&buf, uint32(ct.Level)); err != nil {
 		return nil, err
 	}
@@ -155,6 +182,9 @@ func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
 func (ct *Ciphertext) UnmarshalBinary(data []byte) error {
 	r := bytes.NewReader(data)
+	if err := readMagic(r, ciphertextMagic, "ciphertext"); err != nil {
+		return err
+	}
 	lvl, err := readU32(r)
 	if err != nil {
 		return err
@@ -184,6 +214,9 @@ func (ct *Ciphertext) UnmarshalBinary(data []byte) error {
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (pk *PublicKey) MarshalBinary() ([]byte, error) {
 	var buf bytes.Buffer
+	if err := writeU32(&buf, publicKeyMagic); err != nil {
+		return nil, err
+	}
 	if err := writePoly(&buf, pk.B); err != nil {
 		return nil, err
 	}
@@ -196,6 +229,9 @@ func (pk *PublicKey) MarshalBinary() ([]byte, error) {
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
 func (pk *PublicKey) UnmarshalBinary(data []byte) error {
 	r := bytes.NewReader(data)
+	if err := readMagic(r, publicKeyMagic, "public-key"); err != nil {
+		return err
+	}
 	var err error
 	if pk.B, err = readPoly(r); err != nil {
 		return err
@@ -264,6 +300,9 @@ func readDigits(r io.Reader) ([]EvaluationKeyDigit, error) {
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (rlk *RelinearizationKey) MarshalBinary() ([]byte, error) {
 	var buf bytes.Buffer
+	if err := writeU32(&buf, relinKeyMagic); err != nil {
+		return nil, err
+	}
 	if err := writeDigits(&buf, rlk.Digits); err != nil {
 		return nil, err
 	}
@@ -272,7 +311,11 @@ func (rlk *RelinearizationKey) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
 func (rlk *RelinearizationKey) UnmarshalBinary(data []byte) error {
-	digits, err := readDigits(bytes.NewReader(data))
+	r := bytes.NewReader(data)
+	if err := readMagic(r, relinKeyMagic, "relinearization-key"); err != nil {
+		return err
+	}
+	digits, err := readDigits(r)
 	if err != nil {
 		return err
 	}
@@ -283,6 +326,9 @@ func (rlk *RelinearizationKey) UnmarshalBinary(data []byte) error {
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (swk *SwitchingKey) MarshalBinary() ([]byte, error) {
 	var buf bytes.Buffer
+	if err := writeU32(&buf, switchingKeyMagic); err != nil {
+		return nil, err
+	}
 	if err := writeDigits(&buf, swk.Digits); err != nil {
 		return nil, err
 	}
@@ -290,8 +336,15 @@ func (swk *SwitchingKey) MarshalBinary() ([]byte, error) {
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
+// The magic applies to a standalone switching key; RotationKeySet frames
+// its members itself (the set-level magic covers them) and writes digit
+// lists directly.
 func (swk *SwitchingKey) UnmarshalBinary(data []byte) error {
-	digits, err := readDigits(bytes.NewReader(data))
+	r := bytes.NewReader(data)
+	if err := readMagic(r, switchingKeyMagic, "switching-key"); err != nil {
+		return err
+	}
+	digits, err := readDigits(r)
 	if err != nil {
 		return err
 	}

@@ -85,10 +85,10 @@ func TestCiphertextBadInput(t *testing.T) {
 	}
 }
 
-// mutateScale rewrites the scale field (bytes 4..12) of a marshaled
-// ciphertext in place.
+// mutateScale rewrites the scale field (bytes 8..16, after magic and
+// level) of a marshaled ciphertext in place.
 func mutateScale(data []byte, scale float64) {
-	binary.LittleEndian.PutUint64(data[4:], math.Float64bits(scale))
+	binary.LittleEndian.PutUint64(data[8:], math.Float64bits(scale))
 }
 
 // TestCiphertextRejectsHostileScale is the regression test for the wire bug
@@ -127,6 +127,9 @@ func TestCiphertextRejectsDegreeMismatch(t *testing.T) {
 	// Re-marshal by hand with C1 at half the ring degree but identical limb
 	// count: header (level, scale), full C0, shrunken C1.
 	var buf bytes.Buffer
+	if err := writeU32(&buf, ciphertextMagic); err != nil {
+		t.Fatal(err)
+	}
 	if err := writeU32(&buf, uint32(ct.Level)); err != nil {
 		t.Fatal(err)
 	}
@@ -152,6 +155,9 @@ func TestCiphertextRejectsDegreeMismatch(t *testing.T) {
 func TestPublicKeyRejectsDegreeMismatch(t *testing.T) {
 	tc := newTestContext(t, testLit)
 	var buf bytes.Buffer
+	if err := writeU32(&buf, publicKeyMagic); err != nil {
+		t.Fatal(err)
+	}
 	if err := writePoly(&buf, tc.pk.B); err != nil {
 		t.Fatal(err)
 	}

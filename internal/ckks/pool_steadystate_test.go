@@ -1,0 +1,54 @@
+package ckks
+
+import "testing"
+
+// TestRotatePoolSteadyState pins the pooled-scratch discipline on the
+// rotation hot path (the polypool analyzer's target invariant, checked
+// dynamically): once the ring pools are warm and the caller returns the
+// result components, repeated rotations draw every polynomial from the
+// pools instead of the heap. A leak anywhere on the applyGalois /
+// keySwitch path shows up here as a per-op allocation of poly limbs,
+// far above the bound.
+func TestRotatePoolSteadyState(t *testing.T) {
+	tc := newTestContext(t, testLit)
+	eval := NewEvaluator(tc.params, tc.rlk).
+		WithRotationKeys(tc.kg.GenRotationKeys(tc.sk, []int{1}, false))
+	rq := tc.params.RingQ()
+
+	pt, err := tc.enc.Encode(make([]complex128, tc.params.Slots()), tc.params.MaxLevel(), tc.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := tc.encr.Encrypt(pt)
+
+	rotateOnce := func() {
+		out, err := eval.Rotate(ct, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The result components are pool polys the rotation hands to the
+		// caller; putting them back is what closes the cycle.
+		rq.PutPoly(out.C0)
+		rq.PutPoly(out.C1)
+	}
+	for i := 0; i < 8; i++ {
+		rotateOnce() // warm the per-level pools
+	}
+	allocs := testing.AllocsPerRun(50, rotateOnce)
+	t.Logf("allocs per rotation at steady state: %.1f", allocs)
+
+	// Measured steady state is a stable 33 allocations per op (the
+	// ciphertext struct plus the key-switch fan's per-call closures);
+	// race instrumentation adds a constant ~10. One leaked full-chain
+	// poly costs (level+2) ≈ 12 more — each bound sits below its
+	// steady state plus one poly, so even a single leaked poly per op
+	// fails, with slack for runtime/scheduler jitter.
+	maxSteadyStateAllocs := 42.0
+	if raceEnabled {
+		maxSteadyStateAllocs = 52
+	}
+	if allocs > maxSteadyStateAllocs {
+		t.Fatalf("rotation allocates %.1f objects per op at steady state (bound %.0f): a pooled poly is leaking",
+			allocs, maxSteadyStateAllocs)
+	}
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"path"
+	"strconv"
+	"strings"
+)
+
+// Cryptorand forbids math/rand (and math/rand/v2) imports in the
+// non-test files of the crypto packages — any package whose import path
+// ends in "ckks" or "ring". Sampling secrets from a seedable,
+// non-cryptographic generator is the kind of mistake that survives every
+// functional test; where it is intentional (this repository trades
+// crypto/rand for reproducible experiments), the importing file must
+// carry a //hennlint:deterministic-sampling annotation whose trailing
+// text documents the rationale.
+var Cryptorand = &Analyzer{
+	Name: "cryptorand",
+	Doc:  "math/rand must not leak into internal/ckks or internal/ring without a deterministic-sampling annotation",
+	Run:  runCryptorand,
+}
+
+const deterministicSampling = "deterministic-sampling"
+
+func runCryptorand(p *Pass) error {
+	switch path.Base(p.Path) {
+	case "ckks", "ring":
+	default:
+		return nil
+	}
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, imp := range f.Imports {
+			ipath, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if ipath != "math/rand" && ipath != "math/rand/v2" {
+				continue
+			}
+			if fileHasDirective(f, deterministicSampling) {
+				continue
+			}
+			p.Reportf(imp.Pos(), "%s imported in a crypto package; use crypto/rand, or annotate this file with %s%s <why deterministic sampling is sound here>",
+				ipath, directivePrefix, deterministicSampling)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/efficientfhe/smartpaf/internal/lint"
+	"github.com/efficientfhe/smartpaf/internal/lint/linttest"
+)
+
+// TestCryptorand covers the in-scope fixture (directory named "ring",
+// with one violating file and one carrying the deterministic-sampling
+// annotation).
+func TestCryptorand(t *testing.T) {
+	linttest.Run(t, lint.Cryptorand, "ring")
+}
+
+// TestCryptorandOutOfScope: math/rand outside the crypto packages is
+// not the analyzer's business.
+func TestCryptorandOutOfScope(t *testing.T) {
+	linttest.Run(t, lint.Cryptorand, "mathok")
+}

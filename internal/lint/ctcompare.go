@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// Ctcompare flags equality comparisons (== / != / bytes.Equal) where an
+// operand is named like a secret — token, secret, password, credential —
+// and typed string or []byte. Such comparisons short-circuit on the
+// first differing byte, letting an attacker recover the secret byte by
+// byte from response timing; they must go through
+// crypto/subtle.ConstantTimeCompare instead.
+//
+// Presence checks against the empty string or nil are allowed: they
+// reveal only whether a secret is configured, not its contents.
+var Ctcompare = &Analyzer{
+	Name: "ctcompare",
+	Doc:  "secrets and tokens must be compared with crypto/subtle, not == or bytes.Equal",
+	Run:  runCtcompare,
+}
+
+var secretName = regexp.MustCompile(`(?i)(token|secret|passwd|password|credential)`)
+
+func runCtcompare(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				var hit ast.Expr
+				switch {
+				case p.isSecretOperand(n.X):
+					hit = n.X
+				case p.isSecretOperand(n.Y):
+					hit = n.Y
+				default:
+					return true
+				}
+				other := n.Y
+				if hit == n.Y {
+					other = n.X
+				}
+				if isPresenceCheck(other) {
+					return true
+				}
+				p.Reportf(n.OpPos, "%q is compared with %s; use crypto/subtle.ConstantTimeCompare for secret material",
+					types.ExprString(hit), n.Op)
+			case *ast.CallExpr:
+				if !isPkgFuncCall(p.Info, n, "bytes", "Equal") || len(n.Args) != 2 {
+					return true
+				}
+				for _, arg := range n.Args {
+					if p.isSecretOperand(arg) {
+						p.Reportf(n.Pos(), "%q is compared with bytes.Equal; use crypto/subtle.ConstantTimeCompare for secret material",
+							types.ExprString(arg))
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSecretOperand reports whether e names a string- or byte-typed value
+// whose identifier looks like secret material.
+func (p *Pass) isSecretOperand(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	var name string
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	case *ast.CallExpr:
+		// A conversion keeps the underlying name: []byte(tok).
+		if len(e.Args) == 1 {
+			if tv, ok := p.Info.Types[e.Fun]; ok && tv.IsType() {
+				return p.isSecretOperand(e.Args[0])
+			}
+		}
+		return false
+	default:
+		return false
+	}
+	if !secretName.MatchString(name) {
+		return false
+	}
+	tv, ok := p.Info.Types[e]
+	if !ok {
+		return false
+	}
+	return isStringOrBytes(tv.Type)
+}
+
+func isStringOrBytes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Slice:
+		b, ok := u.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	}
+	return false
+}
+
+// isPresenceCheck reports whether e is the empty string or nil — a
+// configured/unset check, not a content comparison.
+func isPresenceCheck(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.STRING && (e.Value == `""` || e.Value == "``")
+	case *ast.Ident:
+		return e.Name == "nil"
+	}
+	return false
+}
+
+// isPkgFuncCall matches a call pkg.Fun(...) where pkg is the named
+// package (by import path base).
+func isPkgFuncCall(info *types.Info, call *ast.CallExpr, pkg, fun string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fun {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Name() == pkg
+}

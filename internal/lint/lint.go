@@ -1,0 +1,216 @@
+// Package lint implements hennlint, a suite of custom static analyzers
+// that mechanically enforce the correctness contracts of this serving
+// stack which the compiler cannot see:
+//
+//   - polypool: every pooled polynomial or scratch buffer drawn from an
+//     internal/ring pool (GetPoly, GetPolyRaw, GetScratch) or hoisted
+//     decomposition must be returned (PutPoly, PutScratch, Release) on
+//     every path, or explicitly handed to the caller via a
+//     //hennlint:transfers-ownership annotation.
+//   - refbalance: registry Deployed.Retain must be balanced by a
+//     Deployed.Release on every path, so retired models actually drain.
+//   - cryptorand: math/rand must not leak into the crypto packages
+//     (internal/ckks, internal/ring) outside tests, unless a file
+//     carries a //hennlint:deterministic-sampling annotation explaining
+//     why deterministic sampling is intended.
+//   - ctcompare: secrets and tokens must be compared in constant time
+//     (crypto/subtle), never with == or bytes.Equal.
+//   - wiremagic: every UnmarshalBinary must check a magic constant and
+//     bound every length it reads from the wire before allocating.
+//
+// The suite runs as `make lint` (via cmd/hennlint) and is enforced in CI.
+// It is built directly on go/ast and go/types — the module vendors no
+// dependencies, so the go/analysis framework is intentionally not used;
+// lint.Analyzer mirrors its shape closely enough that porting later is
+// mechanical.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// All returns the full hennlint suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Polypool, Refbalance, Cryptorand, Ctcompare, Wiremagic}
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Path     string // import path (or test-harness package name)
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies the analyzers to every package and returns the combined
+// diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.Path,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// directivePrefix introduces hennlint annotations. Annotations are
+// directive comments (no space after //, invisible to go doc), e.g.
+// //hennlint:transfers-ownership — optionally followed by a rationale on
+// the same line.
+const directivePrefix = "//hennlint:"
+
+// hasDirective reports whether the comment group carries the named
+// hennlint annotation.
+func hasDirective(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+		if !ok {
+			continue
+		}
+		if rest == name || strings.HasPrefix(rest, name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// fileHasDirective reports whether any comment in the file carries the
+// named annotation. File-level annotations (cryptorand's
+// deterministic-sampling) may sit anywhere in the file, conventionally
+// next to the import they justify.
+func fileHasDirective(f *ast.File, name string) bool {
+	for _, cg := range f.Comments {
+		if hasDirective(cg, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// methodCall matches a call of the form expr.method(...) where the
+// method's receiver is the named type typeName (possibly behind a
+// pointer), in any package — matching by type name keeps analyzer test
+// fixtures self-contained. It returns the receiver expression.
+func methodCall(info *types.Info, call *ast.CallExpr, typeName, method string) (recv ast.Expr, ok bool) {
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK || sel.Sel.Name != method {
+		return nil, false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil, false
+	}
+	sig, sigOK := fn.Type().(*types.Signature)
+	if !sigOK || sig.Recv() == nil {
+		return nil, false
+	}
+	if namedTypeName(sig.Recv().Type()) != typeName {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// namedTypeName returns the name of t's named type, looking through
+// pointers; "" if t is not named.
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// exprKey returns a stable key identifying the resource an expression
+// names: the defining object for plain identifiers (robust under
+// shadowing), the printed selector path otherwise ("sess.dep").
+func exprKey(info *types.Info, e ast.Expr) string {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.ObjectOf(id); obj != nil {
+			return fmt.Sprintf("obj:%p", obj)
+		}
+		return "name:" + id.Name
+	}
+	return "expr:" + types.ExprString(e)
+}

@@ -1,0 +1,660 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The acquire/release pairing engine shared by polypool and refbalance.
+//
+// It is a forward abstract interpretation over the AST of each function
+// body (declared functions and function literals are analyzed as
+// independent scopes). A resource enters the tracked set when an acquire
+// call's result is bound to a local identifier; it leaves it when a
+// matching release call runs, when a matching release is deferred (defers
+// run on every return and on panic, so a deferred release covers the rest
+// of the function), or when ownership demonstrably leaves the function —
+// stored into a field, slice, map or composite literal, sent on a
+// channel, captured by a closure that releases it, or returned by a
+// function annotated //hennlint:transfers-ownership.
+//
+// At every return (explicit or fall-off-the-end) and at control-flow
+// joins, the engine checks the tracked set: a resource that is live on
+// the path being checked is a leak. Joins widen disagreeing states to
+// "maybe released", which is deliberately not reported — the engine
+// under-approximates at merges so it can stay silent on correct code; a
+// resource released on only one arm of a branch will still be caught on
+// any path that reaches a return while it is provably live.
+
+// pairSpec configures one acquire/release discipline.
+type pairSpec struct {
+	// acquire reports whether call hands its caller a resource (as its
+	// result) that must be released, and a human noun for it
+	// ("pooled poly"). May be nil.
+	acquire func(p *Pass, call *ast.CallExpr) (what string, ok bool)
+	// acquireRecv matches acquire calls whose tracked resource is the
+	// call's receiver rather than its result (registry Retain). May be
+	// nil.
+	acquireRecv func(p *Pass, call *ast.CallExpr) (recv ast.Expr, what string, ok bool)
+	// release reports the expression whose resource call releases.
+	release func(p *Pass, call *ast.CallExpr) (released ast.Expr, ok bool)
+	// annotation names the hennlint directive that lets a function
+	// transfer an acquired resource to its caller via a return value.
+	annotation string
+	// resultType reports whether a value of type t is a resource under
+	// this spec. It scopes the shared transfers-ownership annotation: an
+	// annotated function only acts as an acquirer for the specs whose
+	// resource types it returns (keySwitch hands out pooled polys, not
+	// model references), and binding a multi-result acquire only tracks
+	// the results that are resources (not the trailing error).
+	resultType func(t types.Type) bool
+}
+
+type resState int8
+
+const (
+	stLive resState = iota
+	stMaybe
+	stReleased
+)
+
+type resource struct {
+	name  string // identifier or receiver path, for messages
+	what  string // noun from the acquire matcher
+	state resState
+	pos   token.Pos // acquire site
+}
+
+// flowState maps resource keys (see exprKey) to their current state.
+type flowState map[string]*resource
+
+func (st flowState) clone() flowState {
+	out := make(flowState, len(st))
+	for k, v := range st {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+// merge joins two branch states in place into st.
+func (st flowState) merge(other flowState) {
+	for k, o := range other {
+		cur, ok := st[k]
+		if !ok {
+			c := *o
+			st[k] = &c
+			continue
+		}
+		if cur.state != o.state {
+			// live ⊔ released = maybe; anything ⊔ maybe = maybe.
+			cur.state = stMaybe
+		}
+	}
+	// Keys only in st keep their state: a resource acquired on one arm
+	// stays live into the join (the other arm never knew it).
+}
+
+// runPairing applies spec to every function-shaped body in the package.
+func runPairing(p *Pass, spec *pairSpec) {
+	// Same-package functions annotated transfers-ownership also act as
+	// acquirers: their callers own the returned resources.
+	annotated := map[*types.Func]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasDirective(fd.Doc, spec.annotation) {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if spec.resultType != nil && !returnsResource(fn, spec.resultType) {
+				continue
+			}
+			annotated[fn] = true
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					a := &pairAnalysis{
+						pass: p, spec: spec, annotated: annotated,
+						fnPos: fn.Pos(), fnEnd: fn.End(),
+						transfers: hasDirective(fn.Doc, spec.annotation),
+					}
+					a.run(fn.Body)
+				}
+			case *ast.FuncLit:
+				// Literals cannot carry doc annotations; a literal that
+				// needs to hand resources out should assign them to
+				// captured state, which the engine treats as an escape.
+				a := &pairAnalysis{
+					pass: p, spec: spec, annotated: annotated,
+					fnPos: fn.Pos(), fnEnd: fn.End(),
+				}
+				a.run(fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+type pairAnalysis struct {
+	pass      *Pass
+	spec      *pairSpec
+	annotated map[*types.Func]bool
+	fnPos     token.Pos
+	fnEnd     token.Pos
+	transfers bool // function is annotated transfers-ownership
+}
+
+func (a *pairAnalysis) run(body *ast.BlockStmt) {
+	st := flowState{}
+	terminated := a.walkStmts(body.List, st)
+	if !terminated {
+		a.checkExit(st, body.End(), nil)
+	}
+}
+
+// isAcquire matches direct acquire calls and calls to same-package
+// annotated functions.
+func (a *pairAnalysis) isAcquire(call *ast.CallExpr) (string, bool) {
+	if a.spec.acquire != nil {
+		if what, ok := a.spec.acquire(a.pass, call); ok {
+			return what, true
+		}
+	}
+	if fn := calleeFunc(a.pass.Info, call); fn != nil && a.annotated[fn] {
+		return "owned result of " + fn.Name(), true
+	}
+	return "", false
+}
+
+// walkStmts runs the statement list, returning whether every path
+// through it terminates (returns, panics, or branches away).
+func (a *pairAnalysis) walkStmts(stmts []ast.Stmt, st flowState) bool {
+	for _, s := range stmts {
+		if a.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *pairAnalysis) walkStmt(s ast.Stmt, st flowState) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return a.walkStmts(s.List, st)
+
+	case *ast.AssignStmt:
+		a.handleAssign(s, st)
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
+					continue
+				}
+				a.handleBind(identsAsExprs(vs.Names), vs.Values, token.DEFINE, st)
+			}
+		}
+
+	case *ast.ExprStmt:
+		a.handleExpr(s.X, st, false)
+
+	case *ast.DeferStmt:
+		a.handleCall(s.Call, st, true)
+
+	case *ast.GoStmt:
+		a.handleCall(s.Call, st, true)
+
+	case *ast.SendStmt:
+		// Sending a tracked resource on a channel transfers ownership.
+		a.escapeIdents(s.Value, st)
+		a.scanExpr(s.Chan, st)
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			a.scanExpr(r, st)
+		}
+		a.checkExit(st, s.Pos(), s.Results)
+		return true
+
+	case *ast.BranchStmt:
+		// break/continue/goto: stop tracking this path conservatively.
+		return true
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			a.walkStmt(s.Init, st)
+		}
+		a.scanExpr(s.Cond, st)
+		thenSt := st.clone()
+		thenTerm := a.walkStmt(s.Body, thenSt)
+		if s.Else != nil {
+			elseSt := st.clone()
+			elseTerm := a.walkStmt(s.Else, elseSt)
+			switch {
+			case thenTerm && elseTerm:
+				return true
+			case thenTerm:
+				replace(st, elseSt)
+			case elseTerm:
+				replace(st, thenSt)
+			default:
+				replace(st, thenSt)
+				st.merge(elseSt)
+			}
+			return false
+		}
+		if !thenTerm {
+			st.merge(thenSt)
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			a.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			a.scanExpr(s.Cond, st)
+		}
+		bodySt := st.clone()
+		bodyTerm := a.walkStmt(s.Body, bodySt)
+		if s.Post != nil {
+			a.walkStmt(s.Post, bodySt)
+		}
+		a.checkLoopBody(st, bodySt, s.Body)
+		if !bodyTerm {
+			st.merge(bodySt)
+		}
+
+	case *ast.RangeStmt:
+		a.scanExpr(s.X, st)
+		bodySt := st.clone()
+		bodyTerm := a.walkStmt(s.Body, bodySt)
+		a.checkLoopBody(st, bodySt, s.Body)
+		if !bodyTerm {
+			st.merge(bodySt)
+		}
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			a.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			a.scanExpr(s.Tag, st)
+		}
+		a.walkCases(s.Body, st)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			a.walkStmt(s.Init, st)
+		}
+		a.walkCases(s.Body, st)
+
+	case *ast.SelectStmt:
+		a.walkCases(s.Body, st)
+
+	case *ast.LabeledStmt:
+		return a.walkStmt(s.Stmt, st)
+
+	case *ast.IncDecStmt, *ast.EmptyStmt:
+		// no resource effects
+	}
+	return false
+}
+
+// replace overwrites dst's contents with src's.
+func replace(dst, src flowState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// walkCases handles switch/type-switch/select bodies: every clause runs
+// on a copy of the incoming state and the survivors merge, together with
+// the fall-past path when no default clause exists.
+func (a *pairAnalysis) walkCases(body *ast.BlockStmt, st flowState) {
+	var out []flowState
+	hasDefault := false
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				a.scanExpr(e, st)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		}
+		caseSt := st.clone()
+		if c, ok := c.(*ast.CommClause); ok && c.Comm != nil {
+			a.walkStmt(c.Comm, caseSt)
+		}
+		if !a.walkStmts(stmts, caseSt) {
+			out = append(out, caseSt)
+		}
+	}
+	if len(out) == 0 {
+		// Every clause terminated. Without a default the zero-case path
+		// still falls through with the incoming state unchanged; with
+		// one, code after the switch is unreachable either way.
+		return
+	}
+	first := out[0]
+	for _, o := range out[1:] {
+		first.merge(o)
+	}
+	if !hasDefault {
+		first.merge(st)
+	}
+	replace(st, first)
+}
+
+// checkLoopBody reports resources acquired inside a loop body that are
+// still provably live when the iteration ends — they leak once per
+// iteration and cannot be released after the loop (their scope is gone).
+func (a *pairAnalysis) checkLoopBody(pre, post flowState, body *ast.BlockStmt) {
+	for k, r := range post {
+		if _, existed := pre[k]; existed || r.state != stLive {
+			continue
+		}
+		// Only flag resources bound to identifiers declared inside the
+		// body; anything else already escaped tracking.
+		if r.pos >= body.Pos() && r.pos < body.End() {
+			a.pass.Reportf(r.pos, "%s %s is acquired in a loop body but not released by the end of the iteration", r.what, r.name)
+			r.state = stReleased // one report per resource
+		}
+	}
+}
+
+// checkExit reports every provably-live resource at a return site (or at
+// the end of a function body). A resource referenced by the return
+// values is an ownership transfer when the function carries the
+// annotation, a diagnostic otherwise.
+func (a *pairAnalysis) checkExit(st flowState, pos token.Pos, results []ast.Expr) {
+	returned := map[string]bool{}
+	for _, r := range results {
+		ast.Inspect(r, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				returned[exprKey(a.pass.Info, id)] = true
+			}
+			return true
+		})
+	}
+	for k, r := range st {
+		if r.state != stLive {
+			continue
+		}
+		if returned[k] {
+			if a.transfers {
+				r.state = stReleased
+				continue
+			}
+			a.pass.Reportf(pos, "%s %s escapes via return; release it before returning or annotate the function with %s%s",
+				r.what, r.name, directivePrefix, a.spec.annotation)
+			r.state = stReleased
+			continue
+		}
+		a.pass.Reportf(pos, "%s %s (acquired at %s) is not released on this return path",
+			r.what, r.name, a.pass.Fset.Position(r.pos))
+		r.state = stReleased
+	}
+}
+
+// handleAssign processes acquires bound to identifiers, escapes through
+// stores, and release-bearing closures on the right-hand side.
+func (a *pairAnalysis) handleAssign(s *ast.AssignStmt, st flowState) {
+	a.handleBind(s.Lhs, s.Rhs, s.Tok, st)
+}
+
+func (a *pairAnalysis) handleBind(lhs, rhs []ast.Expr, tok token.Token, st flowState) {
+	// v, w := acquire() — one multi-result acquire call.
+	if len(rhs) == 1 && len(lhs) >= 1 {
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			if what, ok := a.isAcquire(call); ok {
+				for _, l := range lhs {
+					a.bindAcquire(l, what, call.Pos(), tok, st)
+				}
+				a.scanCallArgs(call, st)
+				return
+			}
+		}
+	}
+	if len(lhs) == len(rhs) {
+		for i := range lhs {
+			if call, ok := ast.Unparen(rhs[i]).(*ast.CallExpr); ok {
+				if what, ok := a.isAcquire(call); ok {
+					a.bindAcquire(lhs[i], what, call.Pos(), tok, st)
+					a.scanCallArgs(call, st)
+					continue
+				}
+			}
+			a.storeInto(lhs[i], rhs[i], st)
+			a.scanExpr(rhs[i], st)
+		}
+		return
+	}
+	for _, r := range rhs {
+		a.scanExpr(r, st)
+	}
+	for i := range lhs {
+		a.storeInto(lhs[i], nil, st)
+	}
+}
+
+// returnsResource reports whether any of fn's results is a resource
+// under the spec's type predicate.
+func returnsResource(fn *types.Func, isResource func(types.Type) bool) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isResource(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// bindAcquire starts tracking an acquire result bound to l.
+func (a *pairAnalysis) bindAcquire(l ast.Expr, what string, pos token.Pos, tok token.Token, st flowState) {
+	id, ok := ast.Unparen(l).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		// Stored straight into a field, index or map slot: ownership
+		// moves to that structure; the engine stops tracking.
+		return
+	}
+	if a.spec.resultType != nil {
+		// Only track the results that are resources (skip the error of a
+		// (resource, error) acquire).
+		obj := a.pass.Info.ObjectOf(id)
+		if obj == nil || !a.spec.resultType(obj.Type()) {
+			return
+		}
+	}
+	if tok == token.ASSIGN {
+		// Plain `=` to a variable declared outside this function (a
+		// captured or package-level variable) moves ownership out.
+		if obj := a.pass.Info.ObjectOf(id); obj != nil && (obj.Pos() < a.fnPos || obj.Pos() >= a.fnEnd) {
+			return
+		}
+	}
+	key := exprKey(a.pass.Info, id)
+	if prev, ok := st[key]; ok && prev.state == stLive {
+		a.pass.Reportf(pos, "%s %s is reassigned while the previous value (acquired at %s) is unreleased",
+			what, id.Name, a.pass.Fset.Position(prev.pos))
+	}
+	st[key] = &resource{name: id.Name, what: what, state: stLive, pos: pos}
+}
+
+// storeInto handles the left side of an assignment: writing a tracked
+// resource into anything but a plain local identifier is an escape, and
+// overwriting a live tracked identifier is a leak of the old value.
+func (a *pairAnalysis) storeInto(l, r ast.Expr, st flowState) {
+	if r != nil {
+		if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+			key := exprKey(a.pass.Info, id)
+			if res, tracked := st[key]; tracked && res.state == stLive {
+				if _, lhsIdent := ast.Unparen(l).(*ast.Ident); !lhsIdent {
+					res.state = stReleased // escaped into a structure
+				}
+			}
+		}
+	}
+	if id, ok := ast.Unparen(l).(*ast.Ident); ok && id.Name != "_" {
+		key := exprKey(a.pass.Info, id)
+		if res, tracked := st[key]; tracked && res.state == stLive && r != nil {
+			// Only report when the overwrite is a fresh value, not a
+			// self-update (v = append-style rebinding of same resource).
+			if rid, ok := ast.Unparen(r).(*ast.Ident); !ok || exprKey(a.pass.Info, rid) != key {
+				a.pass.Reportf(l.Pos(), "%s %s (acquired at %s) is overwritten while unreleased",
+					res.what, res.name, a.pass.Fset.Position(res.pos))
+				res.state = stReleased
+			}
+		}
+	}
+}
+
+// handleExpr processes a statement-level expression.
+func (a *pairAnalysis) handleExpr(e ast.Expr, st flowState, deferred bool) {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		a.handleCall(call, st, deferred)
+		return
+	}
+	a.scanExpr(e, st)
+}
+
+// handleCall processes a statement-level (or deferred) call: a release
+// updates state, a bare acquire is an immediate leak, and anything else
+// is scanned for escapes and release-bearing closures.
+func (a *pairAnalysis) handleCall(call *ast.CallExpr, st flowState, deferred bool) {
+	if released, ok := a.spec.release(a.pass, call); ok {
+		key := exprKey(a.pass.Info, released)
+		if res, tracked := st[key]; tracked {
+			res.state = stReleased
+		}
+		return
+	}
+	if a.spec.acquireRecv != nil && !deferred {
+		if recv, what, ok := a.spec.acquireRecv(a.pass, call); ok {
+			key := exprKey(a.pass.Info, recv)
+			// A re-Retain on an already-live receiver folds into one
+			// obligation; the engine does not count references.
+			st[key] = &resource{name: types.ExprString(recv), what: what, state: stLive, pos: call.Pos()}
+			a.scanCallArgs(call, st)
+			return
+		}
+	}
+	if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		// defer func() { ... release(v) ... }() and friends.
+		a.scanClosure(fl, st)
+		a.scanCallArgs(call, st)
+		return
+	}
+	if what, ok := a.isAcquire(call); ok && !deferred {
+		a.pass.Reportf(call.Pos(), "result of this call (%s) is discarded and can never be released", what)
+		return
+	}
+	a.scanCallArgs(call, st)
+}
+
+func (a *pairAnalysis) scanCallArgs(call *ast.CallExpr, st flowState) {
+	for _, arg := range call.Args {
+		a.scanExpr(arg, st)
+	}
+}
+
+// scanExpr looks inside an expression for ownership transfers the flow
+// walk would otherwise miss: tracked resources placed in composite
+// literals, addresses of tracked resources, and closures that release a
+// tracked resource (the closure now owns the release obligation —
+// passing it to a worker pool or deferring it are the repo's idioms).
+// Plain call arguments are borrows and do not untrack.
+func (a *pairAnalysis) scanExpr(e ast.Expr, st flowState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			a.scanClosure(n, st)
+			return false
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				a.escapeIdents(elt, st)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				a.escapeIdents(n.X, st)
+			}
+		}
+		return true
+	})
+}
+
+// escapeIdents marks a tracked identifier appearing directly in e as
+// ownership-transferred.
+func (a *pairAnalysis) escapeIdents(e ast.Expr, st flowState) {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if res, tracked := st[exprKey(a.pass.Info, id)]; tracked && res.state == stLive {
+			res.state = stReleased
+		}
+		return
+	}
+	// Nested composites (e.g. a slice literal of structs).
+	if cl, ok := ast.Unparen(e).(*ast.CompositeLit); ok {
+		for _, elt := range cl.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			a.escapeIdents(elt, st)
+		}
+	}
+}
+
+// scanClosure marks every outer tracked resource the closure releases as
+// released: once the closure exists, it owns those release obligations
+// (the repo passes such closures to worker pools or defers them).
+func (a *pairAnalysis) scanClosure(fl *ast.FuncLit, st flowState) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if released, ok := a.spec.release(a.pass, call); ok {
+			if res, tracked := st[exprKey(a.pass.Info, released)]; tracked {
+				res.state = stReleased
+			}
+		}
+		return true
+	})
+}
+
+func identsAsExprs(ids []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Polypool checks that every pooled polynomial or scratch buffer drawn
+// from an internal/ring pool is returned on every path.
+//
+// Acquire/release pairs:
+//
+//	(*ring.Ring).GetPoly / GetPolyRaw  →  (*ring.Ring).PutPoly
+//	(*ring.Ring).GetScratch            →  (*ring.Ring).PutScratch
+//	(*ckks.Evaluator).DecomposeHoisted →  (*ckks.HoistedDecomposition).Release
+//
+// A function may hand an acquired resource to its caller through a
+// return value only when annotated //hennlint:transfers-ownership; calls
+// to such annotated functions are themselves treated as acquires in the
+// caller. Matching is by receiver type name (Ring, Evaluator,
+// HoistedDecomposition), which keeps the analyzer's test fixtures
+// self-contained.
+var Polypool = &Analyzer{
+	Name: "polypool",
+	Doc:  "pooled ring polynomials and scratch buffers must be released on every path",
+	Run:  runPolypool,
+}
+
+var polypoolAcquires = []struct {
+	recv, method, what string
+}{
+	{"Ring", "GetPoly", "pooled poly"},
+	{"Ring", "GetPolyRaw", "pooled poly"},
+	{"Ring", "GetScratch", "pooled scratch buffer"},
+	{"Evaluator", "DecomposeHoisted", "hoisted decomposition"},
+}
+
+func runPolypool(p *Pass) error {
+	spec := &pairSpec{
+		annotation: "transfers-ownership",
+		resultType: isPoolResource,
+		acquire: func(p *Pass, call *ast.CallExpr) (string, bool) {
+			for _, m := range polypoolAcquires {
+				if _, ok := methodCall(p.Info, call, m.recv, m.method); ok {
+					return m.what, true
+				}
+			}
+			return "", false
+		},
+		release: func(p *Pass, call *ast.CallExpr) (ast.Expr, bool) {
+			if _, ok := methodCall(p.Info, call, "Ring", "PutPoly"); ok && len(call.Args) == 1 {
+				return call.Args[0], true
+			}
+			if _, ok := methodCall(p.Info, call, "Ring", "PutScratch"); ok && len(call.Args) == 1 {
+				return call.Args[0], true
+			}
+			if recv, ok := methodCall(p.Info, call, "HoistedDecomposition", "Release"); ok {
+				return recv, true
+			}
+			return nil, false
+		},
+	}
+	runPairing(p, spec)
+	return nil
+}
+
+// isPoolResource matches the types polypool tracks: pooled polynomials,
+// hoisted decompositions, and []uint64 scratch buffers.
+func isPoolResource(t types.Type) bool {
+	switch namedTypeName(t) {
+	case "Poly", "HoistedDecomposition":
+		return true
+	}
+	if s, ok := t.Underlying().(*types.Slice); ok {
+		if b, ok := s.Elem().(*types.Basic); ok && b.Kind() == types.Uint64 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,48 @@
+// Package ctcompare is the ctcompare analyzer's test fixture.
+package ctcompare
+
+import (
+	"bytes"
+	"crypto/subtle"
+)
+
+type config struct {
+	AdminToken string
+	secretKey  []byte
+}
+
+func eqString(c *config, presented string) bool {
+	return c.AdminToken == presented // want "compared with =="
+}
+
+func neqString(c *config, presented string) bool {
+	return presented != c.AdminToken // want "compared with !="
+}
+
+func eqBytes(c *config, presented []byte) bool {
+	return bytes.Equal(c.secretKey, presented) // want "compared with bytes.Equal"
+}
+
+func eqConverted(userToken string, presented []byte) bool {
+	return bytes.Equal([]byte(userToken), presented) // want "compared with bytes.Equal"
+}
+
+func localPassword(password, input string) bool {
+	return input == password // want "compared with =="
+}
+
+// presence checks reveal only whether a secret is configured, not its
+// contents — allowed.
+func presence(c *config) bool {
+	return c.AdminToken != ""
+}
+
+// constantTime is the required pattern and must not be flagged.
+func constantTime(c *config, presented string) bool {
+	return subtle.ConstantTimeCompare([]byte(c.AdminToken), []byte(presented)) == 1
+}
+
+// plainCompare has no secret-named operand.
+func plainCompare(name, other string) bool {
+	return name == other
+}

@@ -1,0 +1,9 @@
+// Package mathok imports math/rand outside the crypto packages; the
+// cryptorand analyzer must stay silent here.
+package mathok
+
+import "math/rand"
+
+func shuffle(n int) []int {
+	return rand.Perm(n)
+}

@@ -1,0 +1,31 @@
+// Package polypool is the polypool analyzer's test fixture. The types
+// mirror the real internal/ring and internal/ckks shapes by name only —
+// the analyzer matches receiver type names, so the fixture stays
+// self-contained.
+package polypool
+
+import "errors"
+
+type Poly struct{ level int }
+
+type Ring struct{ polys []*Poly }
+
+func (r *Ring) GetPoly(level int) *Poly    { return &Poly{level: level} }
+func (r *Ring) GetPolyRaw(level int) *Poly { return &Poly{level: level} }
+func (r *Ring) GetScratch() []uint64       { return make([]uint64, 8) }
+func (r *Ring) PutPoly(p *Poly)            {}
+func (r *Ring) PutScratch(buf []uint64)    {}
+
+type HoistedDecomposition struct{ digits int }
+
+func (h *HoistedDecomposition) Release() {}
+
+type Evaluator struct{ r *Ring }
+
+func (ev *Evaluator) DecomposeHoisted(p *Poly) *HoistedDecomposition {
+	return &HoistedDecomposition{digits: p.level}
+}
+
+func use(p *Poly) {}
+
+var errBad = errors.New("bad input")

@@ -1,0 +1,8 @@
+package ring
+
+//hennlint:deterministic-sampling fixture for the annotation escape hatch
+import "math/rand"
+
+func noise(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).NormFloat64()
+}

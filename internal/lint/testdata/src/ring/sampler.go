@@ -1,0 +1,9 @@
+// Package ring is the cryptorand fixture: its directory name places it
+// in the analyzer's scope, like the real internal/ring.
+package ring
+
+import "math/rand" // want "math/rand imported in a crypto package"
+
+func uniform(seed int64) uint64 {
+	return rand.New(rand.NewSource(seed)).Uint64()
+}

@@ -1,0 +1,124 @@
+// Package wiremagic is the wiremagic analyzer's test fixture: wire
+// readers, unmarshalers with and without magic checks, and allocations
+// with and without length bounds.
+package wiremagic
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+const blobMagic = uint32(0xB10B)
+
+var (
+	errBadMagic = errors.New("bad magic")
+	errTooBig   = errors.New("implausible length")
+)
+
+func readU32(r io.Reader) (uint32, error) {
+	var v uint32
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+// Blob checks its magic and bounds its length: fully compliant.
+type Blob struct{ words []uint64 }
+
+func (b *Blob) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if magic != blobMagic {
+		return errBadMagic
+	}
+	n, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if n > 1<<16 {
+		return errTooBig
+	}
+	b.words = make([]uint64, n)
+	return binary.Read(r, binary.LittleEndian, b.words)
+}
+
+// Naked never checks a magic constant.
+type Naked struct{ words []uint64 }
+
+func (nk *Naked) UnmarshalBinary(data []byte) error { // want "does not check a magic constant"
+	r := bytes.NewReader(data)
+	count, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if count > 1<<10 {
+		return errTooBig
+	}
+	nk.words = make([]uint64, count)
+	return binary.Read(r, binary.LittleEndian, nk.words)
+}
+
+// Greedy checks its magic but allocates from an unvalidated length.
+type Greedy struct{ words []uint64 }
+
+func (g *Greedy) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if magic != blobMagic {
+		return errBadMagic
+	}
+	count, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	g.words = make([]uint64, count) // want "unvalidated wire length"
+	return binary.Read(r, binary.LittleEndian, g.words)
+}
+
+// readWords is a helper, not an UnmarshalBinary method — helpers are
+// held to the same length-bounding standard.
+func readWords(r io.Reader) ([]uint64, error) {
+	count, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, count) // want "unvalidated wire length"
+	err = binary.Read(r, binary.LittleEndian, out)
+	return out, err
+}
+
+// readWordsBounded is the compliant helper shape.
+func readWordsBounded(r io.Reader) ([]uint64, error) {
+	count, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<12 {
+		return nil, errTooBig
+	}
+	out := make([]uint64, count)
+	err = binary.Read(r, binary.LittleEndian, out)
+	return out, err
+}
+
+type header struct {
+	Count uint32
+}
+
+// readPayload taints through a binary.Read destination struct.
+func readPayload(r io.Reader) ([]byte, error) {
+	var h header
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return nil, err
+	}
+	out := make([]byte, h.Count) // want "unvalidated wire length"
+	_, err := io.ReadFull(r, out)
+	return out, err
+}

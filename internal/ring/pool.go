@@ -10,6 +10,8 @@ import "sync"
 // GetPoly returns a zeroed polynomial at the given level, recycled from the
 // ring's pool when possible. It is equivalent to NewPoly for callers; pair
 // it with PutPoly when the polynomial no longer escapes.
+//
+//hennlint:transfers-ownership the caller owns the returned poly and must PutPoly it
 func (r *Ring) GetPoly(level int) *Poly {
 	p := r.GetPolyRaw(level)
 	p.Zero()

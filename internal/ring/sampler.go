@@ -1,5 +1,6 @@
 package ring
 
+//hennlint:deterministic-sampling seeded math/rand keeps every experiment reproducible; see the NOTE on Sampler
 import "math/rand"
 
 // Sampler draws random ring elements. It is deterministic given its seed,

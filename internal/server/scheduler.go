@@ -272,15 +272,22 @@ claim:
 		sess.dep.Retain()
 		ok := d.pool.Submit(func() {
 			defer sess.dep.Release()
-			d.unitsRun.Add(1)
-			sess.dep.AddUnitRun()
 			out, err := henn.Unit{Ctx: sess.ctx, MLP: sess.dep.Model().MLP, CT: job.ct}.Run()
 			job.done <- inferResult{ct: out, err: err}
 		})
+		// Count the unit here, after the claimed decrement, not inside the
+		// worker: the worker incremented UnitsRun concurrently with the
+		// claimed decrement above, so a Stats snapshot could see one job in
+		// both Backlog (still claimed) and UnitsRun. Submit's rendezvous
+		// means ok implies a worker has the unit, so the count is accurate;
+		// the ordering now only ever undercounts transiently.
 		sess.claimed.Add(-1) // handed to a worker, or about to be aborted
 		if !ok {
 			sess.dep.Release()
 			d.abort([]*inferJob{job}, errShuttingDown)
+		} else {
+			d.unitsRun.Add(1)
+			sess.dep.AddUnitRun()
 		}
 	}
 	d.finish(sess)
