@@ -6,9 +6,17 @@
 //
 //	hennlint [packages...]        # defaults to ./...
 //	hennlint -list                # print the analyzer suite and exit
+//	hennlint -json [packages...]  # machine-readable findings on stdout
+//
+// With -json, findings are emitted as a JSON array of objects with the
+// fields file, line, col, analyzer and message (an empty tree prints
+// "[]"). The exit status is unchanged: 1 when there are findings, 2 on
+// load or analysis errors, 0 otherwise — so CI can both gate on the
+// status and archive the structured report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,10 +24,20 @@ import (
 	"github.com/efficientfhe/smartpaf/internal/lint"
 )
 
+// finding is the -json wire shape for one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: hennlint [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: hennlint [-list] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,8 +63,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hennlint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		findings := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, finding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		out, err := json.MarshalIndent(findings, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hennlint:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "hennlint: %d finding(s)\n", len(diags))

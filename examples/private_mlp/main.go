@@ -50,8 +50,9 @@ func main() {
 	mlp, err := henn.FromModel(model)
 	check(err)
 
-	// 4. CKKS context sized for the inference depth.
-	levels := mlp.LevelsRequired() + 1
+	// 4. CKKS context sized exactly for the inference depth: a base prime
+	// plus one rescaling prime per required level, no slack to hide drift.
+	levels := mlp.LevelsRequired()
 	logQ := make([]int, levels+1)
 	logQ[0] = 55
 	for i := 1; i <= levels; i++ {

@@ -29,10 +29,10 @@ type Linear struct {
 	B       []float64
 
 	planMu sync.Mutex
-	plan   *diagPlan
+	plan   *diagPlan //hennlint:guarded-by(planMu)
 
 	ptMu sync.RWMutex
-	pts  map[ptKey]*ckks.Plaintext
+	pts  map[ptKey]*ckks.Plaintext //hennlint:guarded-by(ptMu)
 }
 
 // ptKey identifies one cached encoding of a static slot vector. The encoder

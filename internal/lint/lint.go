@@ -17,6 +17,18 @@
 //     (crypto/subtle), never with == or bytes.Equal.
 //   - wiremagic: every UnmarshalBinary must check a magic constant and
 //     bound every length it reads from the wire before allocating.
+//   - lockguard: struct fields annotated `// guarded by mu` (or
+//     //hennlint:guarded-by(mu)) may only be read or written while that
+//     mutex is held, tracked flow-sensitively through Lock/Unlock/RLock/
+//     RUnlock and deferred unlocks; writes need the exclusive lock.
+//   - secretflow: secret material (ckks.SecretKey, key generators,
+//     samplers, crypto seeds) must never reach a serialization, logging
+//     or network sink, unless the sink is audited with
+//     //hennlint:secret-sink-ok.
+//   - levelbudget: the per-layer CKKS level consumption of the henn
+//     Apply* implementations must match what LevelsRequired budgets, and
+//     no caller may size or gate with LevelsRequired() ± k arithmetic —
+//     the budget is exact by construction.
 //
 // The suite runs as `make lint` (via cmd/hennlint) and is enforced in CI.
 // It is built directly on go/ast and go/types — the module vendors no
@@ -43,7 +55,7 @@ type Analyzer struct {
 
 // All returns the full hennlint suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Polypool, Refbalance, Cryptorand, Ctcompare, Wiremagic}
+	return []*Analyzer{Polypool, Refbalance, Cryptorand, Ctcompare, Wiremagic, Lockguard, Secretflow, Levelbudget}
 }
 
 // Pass carries one analyzer's view of one package.
@@ -136,6 +148,26 @@ func hasDirective(cg *ast.CommentGroup, name string) bool {
 		}
 	}
 	return false
+}
+
+// directiveArg extracts the parenthesized argument of an annotation of
+// the form //hennlint:name(arg), e.g. //hennlint:guarded-by(mu). It
+// returns ok=false when the comment group carries no such annotation.
+func directiveArg(cg *ast.CommentGroup, name string) (arg string, ok bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		rest, found := strings.CutPrefix(c.Text, directivePrefix)
+		if !found || !strings.HasPrefix(rest, name+"(") {
+			continue
+		}
+		rest = rest[len(name)+1:]
+		if i := strings.IndexByte(rest, ')'); i >= 0 {
+			return strings.TrimSpace(rest[:i]), true
+		}
+	}
+	return "", false
 }
 
 // fileHasDirective reports whether any comment in the file carries the

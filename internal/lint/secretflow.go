@@ -1,0 +1,327 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// Secretflow is a taint analysis that proves key material never leaves
+// the process. Sources are values of the secret-bearing types —
+// SecretKey, KeyGenerator, Sampler (matched by type name, like the rest
+// of the suite, so fixtures stay self-contained) — plus integer
+// variables with seed-like names inside the crypto packages (ckks,
+// ring), where a seed fully determines the secret key. Taint propagates
+// through selections, indexing, dereference, composite literals,
+// conversions, arithmetic (seed mixing) and local assignment chains; it
+// deliberately stops at ordinary call boundaries, so a Decryptor's
+// *output* — which callers legitimately print — is not tainted by the
+// secret key the Decryptor holds.
+//
+// Sinks are the ways bytes leave the process or land somewhere
+// inspectable: fmt/log formatting, MarshalBinary-family methods,
+// encoding/json//gob/binary serialization, and writes to an
+// http.ResponseWriter. A sink call reached by a tainted value is
+// reported unless the line (or the line above it) carries
+// //hennlint:secret-sink-ok, the audited escape hatch.
+var Secretflow = &Analyzer{
+	Name: "secretflow",
+	Doc:  "secret key material must never reach serialization, logging or network sinks",
+	Run:  runSecretflow,
+}
+
+// secretTypeNames are the named types whose values are secret material
+// wherever they appear.
+var secretTypeNames = map[string]bool{
+	"SecretKey":    true,
+	"KeyGenerator": true,
+	"Sampler":      true,
+}
+
+// marshalSinkMethods serialize their receiver.
+var marshalSinkMethods = map[string]bool{
+	"MarshalBinary": true,
+	"MarshalText":   true,
+	"MarshalJSON":   true,
+	"AppendBinary":  true,
+	"GobEncode":     true,
+}
+
+func runSecretflow(p *Pass) error {
+	seedScoped := false
+	switch path.Base(p.Path) {
+	case "ckks", "ring":
+		seedScoped = true
+	}
+	for _, f := range p.Files {
+		okLines := secretOKLines(p, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || hasDirective(fd.Doc, "secret-sink-ok") {
+				continue
+			}
+			s := &secretflowPass{p: p, seedScoped: seedScoped, okLines: okLines, tainted: map[types.Object]bool{}}
+			s.propagate(fd.Body)
+			s.checkSinks(fd.Body)
+		}
+	}
+	return nil
+}
+
+// secretOKLines collects the lines whose sink reports the file audits
+// away: the directive suppresses a sink on its own line or on the line
+// directly below (the conventional spot for a standalone directive).
+func secretOKLines(p *Pass, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			if rest == "secret-sink-ok" || strings.HasPrefix(rest, "secret-sink-ok ") {
+				line := p.Fset.Position(c.Pos()).Line
+				lines[line] = true
+				lines[line+1] = true
+			}
+		}
+	}
+	return lines
+}
+
+type secretflowPass struct {
+	p          *Pass
+	seedScoped bool
+	okLines    map[int]bool
+	tainted    map[types.Object]bool
+}
+
+// propagate runs local assignments to a fixpoint so taint follows
+// chains like sk := kg.GenSecretKey(); q := sk.Q; raw := q.Coeffs.
+// Closure bodies are included: captured secrets stay secret.
+func (s *secretflowPass) propagate(body *ast.BlockStmt) {
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						grew = s.bind(n.Lhs[i], n.Rhs[i]) || grew
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						grew = s.bind(n.Names[i], n.Values[i]) || grew
+					}
+				}
+			case *ast.RangeStmt:
+				// for _, v := range tainted: the element is tainted.
+				if n.Value != nil && s.taintedExpr(n.X) {
+					grew = s.markIdent(n.Value) || grew
+				}
+				if n.Key != nil && s.taintedExpr(n.X) {
+					grew = s.markIdent(n.Key) || grew
+				}
+			}
+			return true
+		})
+		if !grew {
+			return
+		}
+	}
+}
+
+func (s *secretflowPass) bind(lhs, rhs ast.Expr) bool {
+	if !s.taintedExpr(rhs) {
+		return false
+	}
+	return s.markIdent(lhs)
+}
+
+func (s *secretflowPass) markIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := s.p.Info.ObjectOf(id)
+	if obj == nil || s.tainted[obj] {
+		return false
+	}
+	s.tainted[obj] = true
+	return true
+}
+
+// taintedExpr reports whether e carries secret material.
+func (s *secretflowPass) taintedExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if e == nil {
+		return false
+	}
+	if secretType(s.p.Info.TypeOf(e)) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := s.p.Info.ObjectOf(e); obj != nil {
+			if s.tainted[obj] {
+				return true
+			}
+			if s.seedScoped {
+				if v, ok := obj.(*types.Var); ok && seedName(e.Name) && isIntegerVar(v) {
+					return true
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		return s.taintedExpr(e.X)
+	case *ast.IndexExpr:
+		return s.taintedExpr(e.X)
+	case *ast.SliceExpr:
+		return s.taintedExpr(e.X)
+	case *ast.StarExpr:
+		return s.taintedExpr(e.X)
+	case *ast.UnaryExpr:
+		return s.taintedExpr(e.X)
+	case *ast.BinaryExpr:
+		// Seed mixing (seed ^ salt) stays tainted on either side.
+		return s.taintedExpr(e.X) || s.taintedExpr(e.Y)
+	case *ast.TypeAssertExpr:
+		return s.taintedExpr(e.X)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if s.taintedExpr(elt) {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		// Conversions propagate ([]byte(raw)); ordinary calls cut the
+		// flow — a function's result is a fresh value (decryption
+		// outputs are public by design).
+		if tv, ok := s.p.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return s.taintedExpr(e.Args[0])
+		}
+	}
+	return false
+}
+
+// secretType reports whether t is (or wraps, through pointers, slices,
+// arrays and maps) one of the secret-bearing named types.
+func secretType(t types.Type) bool {
+	for i := 0; i < 8 && t != nil; i++ {
+		if secretTypeNames[namedTypeName(t)] {
+			return true
+		}
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Named:
+			t = u.Underlying()
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func seedName(name string) bool {
+	return name == "seed" || strings.HasSuffix(name, "Seed") || strings.HasSuffix(name, "seed")
+}
+
+func isIntegerVar(v *types.Var) bool {
+	b, ok := v.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// checkSinks walks every call in the function and reports tainted
+// values reaching a sink.
+func (s *secretflowPass) checkSinks(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		s.checkSinkCall(call)
+		return true
+	})
+}
+
+func (s *secretflowPass) checkSinkCall(call *ast.CallExpr) {
+	fn := calleeFunc(s.p.Info, call)
+	if fn == nil {
+		return
+	}
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+
+	switch pkgPath {
+	case "fmt", "log", "log/slog":
+		// Every formatting/printing argument is a sink; %p-style
+		// laundering is still a leak of pointer identity, so no verb
+		// analysis — any tainted argument reports.
+		for _, arg := range call.Args {
+			s.reportIfTainted(call, arg, pkgPath+"."+fn.Name())
+		}
+		return
+	case "encoding/json", "encoding/gob", "encoding/binary", "encoding/base64", "encoding/hex":
+		for _, arg := range call.Args {
+			s.reportIfTainted(call, arg, pkgPath+"."+fn.Name())
+		}
+		return
+	}
+
+	if sig != nil && sig.Recv() != nil {
+		selExpr, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		// sk.MarshalBinary() and friends serialize their receiver.
+		if marshalSinkMethods[fn.Name()] && s.taintedExpr(selExpr.X) {
+			s.report(call, types.ExprString(selExpr.X), fn.Name())
+			return
+		}
+		// enc.Encode(sk) on a gob/json encoder.
+		if fn.Name() == "Encode" && namedTypeName(sig.Recv().Type()) == "Encoder" {
+			for _, arg := range call.Args {
+				s.reportIfTainted(call, arg, "Encoder.Encode")
+			}
+			return
+		}
+		// w.Write(raw) / io.WriteString-style writes on a network
+		// response writer.
+		if (fn.Name() == "Write" || fn.Name() == "WriteString") && namedTypeName(sig.Recv().Type()) == "ResponseWriter" {
+			for _, arg := range call.Args {
+				s.reportIfTainted(call, arg, "ResponseWriter."+fn.Name())
+			}
+			return
+		}
+	}
+}
+
+func (s *secretflowPass) reportIfTainted(call *ast.CallExpr, arg ast.Expr, sink string) {
+	if s.taintedExpr(arg) {
+		s.report(call, types.ExprString(arg), sink)
+	}
+}
+
+func (s *secretflowPass) report(call *ast.CallExpr, what, sink string) {
+	if s.okLines[s.p.Fset.Position(call.Pos()).Line] {
+		return
+	}
+	s.p.Reportf(call.Pos(), "secret material %s reaches sink %s; key material must never leave the process (audit with %ssecret-sink-ok if intended)",
+		what, sink, directivePrefix)
+}

@@ -1,0 +1,33 @@
+// Package ckks is the secretflow analyzer's seed-scope fixture: its
+// directory name puts it inside the crypto-package scope (like the real
+// internal/ckks), where an integer named seed fully determines the
+// secret key and is itself secret material.
+package ckks
+
+import "fmt"
+
+type Sampler struct{ state uint64 }
+
+func NewSampler(seed int64) *Sampler { return &Sampler{state: uint64(seed)} }
+
+// badSeedLog leaks a key seed through arithmetic mixing.
+func badSeedLog(seed int64) {
+	mixed := seed ^ 0x5eed
+	fmt.Printf("sampler seed %d\n", mixed) // want "secret material mixed reaches sink fmt.Printf"
+}
+
+// badDerivedSeed leaks a derived per-rotation seed.
+func badDerivedSeed(baseSeed int64, step int) {
+	rotSeed := baseSeed + int64(step)
+	fmt.Println(rotSeed) // want "reaches sink fmt.Println"
+}
+
+// badSampler prints the sampler state, which is seed-equivalent.
+func badSampler(s *Sampler) {
+	fmt.Println(s) // want "secret material s reaches sink fmt.Println"
+}
+
+// goodCounter: a non-seed integer is not secret, even here.
+func goodCounter(n int64) {
+	fmt.Println("processed", n)
+}

@@ -1,0 +1,58 @@
+package lockguard
+
+// dispatch reintroduces the exact PR 7 stats-accounting race: the
+// dispatcher claims work under its lock, then the submitted worker
+// closure increments the units counter with no lock held at all.
+func (d *scheduler) dispatch(p *pool, s *session) {
+	d.mu.Lock()
+	d.ring = append(d.ring, 1)
+	s.inRing = false
+	d.mu.Unlock()
+	p.Submit(func() {
+		d.unitsRun++ // want "unitsRun is guarded by mu but accessed without holding it"
+	})
+}
+
+// badDirect touches guarded state with no locking anywhere.
+func (d *scheduler) badDirect(s *session) {
+	d.ring = append(d.ring, 1) // want "ring is guarded by mu but accessed without holding it"
+	s.inRing = true            // want "inRing is guarded by scheduler.mu but accessed without holding it"
+}
+
+// badAfterUnlock releases too early: the second read is outside the
+// critical section.
+func (d *scheduler) badAfterUnlock() int {
+	d.mu.Lock()
+	n := len(d.ring)
+	d.mu.Unlock()
+	return n + len(d.fifo) // want "fifo is guarded by mu but accessed without holding it"
+}
+
+// badWriteUnderRLock holds only the read lock across a map store.
+func (t *table) badWriteUnderRLock(k string) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.entries[k] = 1 // want "needs mu held exclusively"
+}
+
+// badDelete mutates the guarded map with no lock (delete is a write).
+func (t *table) badDelete(k string) {
+	delete(t.entries, k) // want "entries is guarded by mu but accessed without holding it"
+}
+
+// badEarlyReturn exits a provably locked region with no deferred
+// unlock — the early-return-while-locked bug.
+func (d *scheduler) badEarlyReturn(n int) int {
+	d.mu.Lock()
+	if n > len(d.ring) {
+		return -1 // want "still held and no unlock is deferred"
+	}
+	d.mu.Unlock()
+	return n
+}
+
+// badAnnot declares a guard that does not exist.
+type badAnnot struct {
+	//hennlint:guarded-by(nope)
+	count int // want "guard nope does not name a sibling field"
+}

@@ -1,0 +1,43 @@
+// Package lockguard is the lockguard analyzer's test fixture. The types
+// mirror the real scheduler/session/registry shapes by name only — the
+// analyzer matches mutex method receivers and guard annotations, so the
+// fixture stays self-contained.
+package lockguard
+
+import "sync"
+
+// pool mirrors parallel.Pool's Submit rendezvous shape.
+type pool struct{}
+
+func (p *pool) Submit(task func()) bool {
+	task()
+	return true
+}
+
+// scheduler mirrors the dispatcher: a mutex guarding the dispatch
+// queues and counters, annotated in all three supported spellings.
+type scheduler struct {
+	mu sync.Mutex
+
+	// ring is the round-robin dispatch order, guarded by mu.
+	ring []int
+	//hennlint:guarded-by(mu)
+	unitsRun int64
+	fifo     []int //hennlint:guarded-by(mu)
+}
+
+// session mirrors per-session turn state owned by the scheduler's lock:
+// an external guard, named Type.field style.
+type session struct {
+	//hennlint:guarded-by(scheduler.mu)
+	inRing   bool
+	windowAt int64 // turn deadline, guarded by scheduler.mu
+	jobs     chan int
+}
+
+// table mirrors the registry's RWMutex-guarded maps.
+type table struct {
+	mu sync.RWMutex
+	//hennlint:guarded-by(mu)
+	entries map[string]int
+}

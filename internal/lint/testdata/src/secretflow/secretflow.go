@@ -1,0 +1,92 @@
+// Package secretflow is the secretflow analyzer's test fixture. The
+// types mirror internal/ckks by name only (SecretKey, KeyGenerator,
+// Decryptor); the analyzer matches type names, so the fixture stays
+// self-contained. Seed-name taint is scoped to the crypto packages and
+// exercised by the ckks fixture, not here.
+package secretflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+)
+
+type Poly struct{ Coeffs []uint64 }
+
+type SecretKey struct{ Q, P *Poly }
+
+func (sk *SecretKey) MarshalBinary() ([]byte, error) { return nil, nil }
+
+type PublicKey struct{ P *Poly }
+
+func (pk *PublicKey) MarshalBinary() ([]byte, error) { return nil, nil }
+
+type KeyGenerator struct{ seed int64 }
+
+func (kg *KeyGenerator) GenSecretKey() *SecretKey { return &SecretKey{} }
+func (kg *KeyGenerator) GenPublicKey() *PublicKey { return &PublicKey{} }
+
+type Decryptor struct{ sk *SecretKey }
+
+func NewDecryptor(sk *SecretKey) *Decryptor { return &Decryptor{sk: sk} }
+
+func (d *Decryptor) Decrypt(ct []uint64) []float64 { return nil }
+
+// badLogKey logs the whole secret key.
+func badLogKey(kg *KeyGenerator) {
+	sk := kg.GenSecretKey()
+	log.Printf("sk=%v", sk) // want "secret material sk reaches sink log.Printf"
+}
+
+// badPrintPoly leaks through a selection chain: sk → Q → Coeffs.
+func badPrintPoly(sk *SecretKey) {
+	q := sk.Q
+	fmt.Println(q.Coeffs) // want "reaches sink fmt.Println"
+}
+
+// badMarshal serializes the key itself.
+func badMarshal(sk *SecretKey) ([]byte, error) {
+	return sk.MarshalBinary() // want "secret material sk reaches sink MarshalBinary"
+}
+
+// badJSON leaks via encoding/json; the raw bytes themselves come back
+// from an ordinary call, so only the Marshal line reports.
+func badJSON(w http.ResponseWriter, sk *SecretKey) {
+	raw, _ := json.Marshal(sk) // want "reaches sink encoding/json.Marshal"
+	w.Write(raw)
+}
+
+// badResponseWriter leaks through a conversion onto the network.
+func badResponseWriter(w http.ResponseWriter, sk *SecretKey) {
+	blob := []uint64(sk.Q.Coeffs)
+	_ = blob
+	fmt.Fprintln(w, blob) // want "reaches sink fmt.Fprintln"
+}
+
+// goodAudited is the escape hatch: an audited sink, suppressed by the
+// directive on the line above.
+func goodAudited(sk *SecretKey) {
+	//hennlint:secret-sink-ok audited: debug fingerprint behind a build tag
+	fmt.Println(sk.Q)
+}
+
+// goodOutput: decrypted values are public by design — the ordinary call
+// boundary cuts the decryptor's taint, so printing results stays legal.
+func goodOutput(d *Decryptor, ct []uint64) {
+	vals := d.Decrypt(ct)
+	fmt.Println(vals)
+}
+
+// goodPublicKey: the public key is not secret material.
+func goodPublicKey(kg *KeyGenerator) ([]byte, error) {
+	pk := kg.GenPublicKey()
+	return pk.MarshalBinary()
+}
+
+// goodSeedOutsideCrypto: seed-named integers are only tainted inside
+// the crypto packages; this package is not one (model-weight seeds are
+// printable).
+func goodSeedOutsideCrypto(seed int64) {
+	fmt.Println("demo weights seed", seed)
+}

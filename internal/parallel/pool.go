@@ -18,7 +18,7 @@ type Pool struct {
 	closed  chan struct{}
 
 	mu   sync.RWMutex
-	down bool
+	down bool //hennlint:guarded-by(mu)
 
 	running atomic.Int64
 	peak    atomic.Int64

@@ -80,9 +80,11 @@ func Dims(mlp *henn.MLP) (in, out int, err error) {
 }
 
 // ParamsForMLP sizes a parameter literal for the model's inference depth at
-// the given ring degree, mirroring the repo's example sizing: one level of
-// headroom above LevelsRequired, a 55-bit base prime and 45-bit rescaling
-// primes.
+// the given ring degree: a modulus chain of exactly LevelsRequired rescaling
+// levels (45-bit primes) above a 55-bit base prime. The budget is exact by
+// construction — inference lands on level 0 — so any drift between the
+// model's declared depth and what the evaluator consumes surfaces as a
+// level-exhaustion error instead of being masked by slack.
 func ParamsForMLP(mlp *henn.MLP, logN int) (ckks.ParametersLiteral, error) {
 	if _, _, err := Dims(mlp); err != nil {
 		return ckks.ParametersLiteral{}, fmt.Errorf("registry: %w", err)
@@ -94,7 +96,7 @@ func ParamsForMLP(mlp *henn.MLP, logN int) (ckks.ParametersLiteral, error) {
 			return ckks.ParametersLiteral{}, fmt.Errorf("registry: layer %dx%d exceeds %d slots at LogN=%d", lin.Out, lin.In, slots, logN)
 		}
 	}
-	levels := mlp.LevelsRequired() + 1
+	levels := mlp.LevelsRequired()
 	logQ := make([]int, levels+1)
 	logQ[0] = 55
 	for i := 1; i <= levels; i++ {

@@ -82,9 +82,9 @@ type Deployed struct {
 	unitsRun atomic.Int64
 
 	mu    sync.Mutex
-	refs  int
-	state int
-	freed bool
+	refs  int  //hennlint:guarded-by(mu)
+	state int  //hennlint:guarded-by(mu)
+	freed bool //hennlint:guarded-by(mu)
 	// drained is closed when the stack stops serving (drain or retire) and
 	// the last reference is released.
 	drained chan struct{}
@@ -172,6 +172,8 @@ func (d *Deployed) Release() {
 }
 
 // claimFreeLocked reports (once) that the stack should be freed now.
+//
+//hennlint:holds(mu)
 func (d *Deployed) claimFreeLocked() bool {
 	if d.state != stateLive && d.refs == 0 && !d.freed {
 		d.freed = true
@@ -237,8 +239,9 @@ func (d *Deployed) Drained() <-chan struct{} { return d.drained }
 // survives full retirement so version numbers are never reused — a draining
 // alpha@1 can never collide with a fresh deploy of "alpha".
 type family struct {
+	//hennlint:guarded-by(Registry.mu)
 	next     int
-	versions map[int]*Deployed
+	versions map[int]*Deployed //hennlint:guarded-by(Registry.mu)
 }
 
 // Registry is the concurrency-safe versioned model catalog. An optional
@@ -246,8 +249,8 @@ type family struct {
 // catalog.
 type Registry struct {
 	mu       sync.RWMutex
-	families map[string]*family
-	store    *Store
+	families map[string]*family //hennlint:guarded-by(mu)
+	store    *Store             //hennlint:guarded-by(mu)
 }
 
 // New returns an empty registry.
@@ -338,6 +341,8 @@ func compile(m *Model) (*Deployed, error) {
 
 // publishLocked inserts d into its family at the given version (0 assigns
 // the next number) and keeps the counter monotonic past restored versions.
+//
+//hennlint:holds(mu)
 func (r *Registry) publishLocked(d *Deployed, version int) {
 	name := d.model.Name
 	f := r.families[name]
@@ -367,6 +372,8 @@ func (r *Registry) delistVersion(name string, version int) {
 }
 
 // liveLocked returns the family's newest live version, nil if none.
+//
+//hennlint:holds(Registry.mu)
 func (f *family) liveLocked() *Deployed {
 	var best *Deployed
 	for _, d := range f.versions {

@@ -730,3 +730,20 @@ func TestDeployPersistFailureRetiresStack(t *testing.T) {
 		t.Fatalf("failed deploy left %d catalog entries", r.Len())
 	}
 }
+
+// TestParamsExactDepth pins the modulus-chain sizing contract: ParamsForMLP
+// allocates exactly LevelsRequired rescaling levels, so compiled parameters
+// have no slack above the inference depth. A +1 margin here once masked a
+// serving-boundary off-by-one (the class hennlint's levelbudget analyzer now
+// flags); keeping the budget exact means any depth drift fails loudly as a
+// level-exhaustion error instead of silently consuming the headroom.
+func TestParamsExactDepth(t *testing.T) {
+	r := New()
+	d, err := r.Deploy(testModel(t, "exact", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.Params().MaxLevel(), d.Levels(); got != want {
+		t.Fatalf("compiled MaxLevel %d, want exactly LevelsRequired %d", got, want)
+	}
+}

@@ -43,8 +43,8 @@ type scheduler struct {
 	wake chan struct{}
 
 	mu   sync.Mutex
-	ring []*session // PolicyFair: sessions with queued jobs, round-robin order
-	fifo []*session // PolicyFIFO: one entry per enqueued job, arrival order
+	ring []*session // PolicyFair: sessions with queued jobs, round-robin order, guarded by mu
+	fifo []*session // PolicyFIFO: one entry per enqueued job, arrival order, guarded by mu
 
 	unitsRun     atomic.Int64
 	unitsAborted atomic.Int64
@@ -203,6 +203,8 @@ func (d *scheduler) next() (*session, time.Duration) {
 // must fail now). quantum is the session's own full quantum — weight ×
 // MaxBatch — not the 1× base: a weighted session's window is only cut short
 // once the whole quantum it is entitled to has queued.
+//
+//hennlint:holds(scheduler.mu) — called only from next, under the dispatcher's lock.
 func eligible(sess *session, now time.Time, quantum int) bool {
 	if sess.windowAt.IsZero() || !now.Before(sess.windowAt) || len(sess.jobs) >= quantum {
 		return true

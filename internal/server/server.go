@@ -121,7 +121,10 @@ type Server struct {
 	opts  Options
 	sched *scheduler
 
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	// sessions is the live session table, guarded by mu. closed is not:
+	// it is created once and only ever closed under the lock, while
+	// readers select on it lock-free.
 	sessions map[string]*session
 	closed   chan struct{}
 	wg       sync.WaitGroup
@@ -149,10 +152,13 @@ type session struct {
 	// hold a claimed quantum for a while); Stats adds it to the backlog.
 	claimed atomic.Int64
 
-	// Scheduler turn state, guarded by the scheduler's mutex.
+	// Scheduler turn state, owned by the dispatcher: whether the session
+	// sits in the fair ring, is being served a turn, and when its batch
+	// window expires.
+	//hennlint:guarded-by(scheduler.mu)
 	inRing      bool
-	dispatching bool
-	windowAt    time.Time
+	dispatching bool      //hennlint:guarded-by(scheduler.mu)
+	windowAt    time.Time //hennlint:guarded-by(scheduler.mu)
 }
 
 func (sess *session) touch() { sess.lastUsed.Store(time.Now().UnixNano()) }
