@@ -11,6 +11,7 @@ package smartpaf_bench
 import (
 	"io"
 	"testing"
+	"time"
 
 	"github.com/efficientfhe/smartpaf/internal/ckks"
 	"github.com/efficientfhe/smartpaf/internal/data"
@@ -19,8 +20,10 @@ import (
 	"github.com/efficientfhe/smartpaf/internal/hepoly"
 	"github.com/efficientfhe/smartpaf/internal/nn"
 	"github.com/efficientfhe/smartpaf/internal/paf"
+	"github.com/efficientfhe/smartpaf/internal/parallel"
 	"github.com/efficientfhe/smartpaf/internal/ring"
 	"github.com/efficientfhe/smartpaf/internal/smartpaf"
+	"github.com/efficientfhe/smartpaf/internal/telemetry"
 )
 
 // --- substrate micro-benchmarks ---------------------------------------------
@@ -191,6 +194,32 @@ func BenchmarkBatchInference(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ctx.InferBatch(mlp, cts, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchInferenceTelemetry re-runs the fanned batch with the full
+// telemetry plane live — a CKKS stage observer feeding a labeled histogram
+// and a fresh trace attached to every unit, the serving path's hot-path
+// cost. Compare against BenchmarkBatchInference, whose disabled path pays
+// one atomic pointer load per stage; the gap is the enabled-telemetry tax.
+func BenchmarkBatchInferenceTelemetry(b *testing.B) {
+	ctx, mlp, cts := newBatchInferenceBench(b, 8)
+	stageLat := telemetry.NewRegistry().NewHistogramVec(
+		"bench_ckks_stage_seconds", "per-stage latency under benchmark load", "stage")
+	ckks.SetStageObserver(func(stage string, d time.Duration) {
+		stageLat.With(stage).Record(d)
+	})
+	defer ckks.SetStageObserver(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := parallel.For(len(cts), parallel.Workers(-1), func(j int) error {
+			tr := telemetry.NewTrace(telemetry.NewTraceID())
+			_, err := henn.Unit{Ctx: ctx, MLP: mlp, CT: cts[j], Trace: tr}.Run()
+			return err
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -15,6 +15,7 @@
 //	hennserve -train -demo alpha -export ./deployed   # save bundles, then serve
 //	hennserve -addr :9000 -logn 12 -batch 32 -workers -1 -policy fair
 //	hennserve -state ./state -admin-token s3cret      # durable versioned catalog
+//	hennserve -log-requests -metrics-addr 127.0.0.1:8556  # access log + pprof/metrics plane
 //
 // With -state, every deployed bundle (startup and hot-deployed alike)
 // persists as <name>@<version>.hemodel and a restarted server reloads the
@@ -35,7 +36,9 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -70,6 +73,8 @@ func main() {
 		state     = flag.String("state", "", "state directory: every deployed bundle persists as <name>@<version>.hemodel and the catalog reloads on restart")
 		adminTok  = flag.String("admin-token", "", "bearer token required on the admin endpoints (POST/DELETE /v1/models*); empty leaves them open")
 		perModel  = flag.Int("max-sessions-per-model", 0, "cap on live sessions per model name across its versions (0: no per-model cap)")
+		logReqs   = flag.Bool("log-requests", false, "emit one structured access-log line per HTTP request (method, path, session, model, status, bytes, duration, trace id)")
+		debugAddr = flag.String("metrics-addr", "", "separate debug listen address serving /metrics and /debug/pprof/* (e.g. 127.0.0.1:8556); empty disables — /metrics stays on the API listener either way")
 	)
 	var demos []string
 	flag.Func("demo", "add a synthetic demo model, name[:seed] (repeatable)", func(v string) error {
@@ -87,6 +92,10 @@ func main() {
 			fail(err)
 		}
 	}
+	var accessLog *slog.Logger
+	if *logReqs {
+		accessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	srv, err := server.New(server.Options{
 		MaxBatch:            *batch,
 		Workers:             *workers,
@@ -97,6 +106,7 @@ func main() {
 		MaxSessionsPerModel: *perModel,
 		StateDir:            *state,
 		AdminToken:          *adminTok,
+		AccessLog:           accessLog,
 	}, models...)
 	if err != nil {
 		fail(err)
@@ -113,6 +123,20 @@ func main() {
 	}
 	if *adminTok != "" {
 		fmt.Println("hennserve: admin endpoints require the bearer token")
+	}
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(srv),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "hennserve: debug listener:", err)
+			}
+		}()
+		fmt.Printf("hennserve: telemetry on %s (/metrics, /debug/pprof/)\n", *debugAddr)
 	}
 	fmt.Printf("hennserve: listening on %s\n", *addr)
 	httpSrv := &http.Server{
@@ -135,6 +159,9 @@ func main() {
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	select {
 	case err := <-errCh:
+		if debugSrv != nil {
+			_ = debugSrv.Close()
+		}
 		srv.Close()
 		fail(err)
 	case <-ctx.Done():
@@ -145,9 +172,26 @@ func main() {
 		if err := httpSrv.Shutdown(shCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "hennserve: shutdown:", err)
 		}
+		if debugSrv != nil {
+			_ = debugSrv.Close()
+		}
 		srv.Close()
 		fmt.Println("hennserve: bye")
 	}
+}
+
+// debugMux is the operator-only telemetry plane: the Prometheus exposition
+// plus the pprof profile handlers, mounted explicitly so nothing rides the
+// DefaultServeMux onto a public listener.
+func debugMux(srv *server.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", srv.MetricsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // buildModels assembles the startup catalog: every -demo occurrence, the

@@ -124,11 +124,14 @@ func (e *Encoder) Encode(values []complex128, level int, scale float64) (*Plaint
 	if len(values) > slots {
 		return nil, fmt.Errorf("ckks: %d values exceed %d slots", len(values), slots)
 	}
+	mark := stageClock()
 	w := e.getSlots()
 	defer e.putSlots(w)
 	copy(w, values)
 	e.embInv(w)
-	return e.coeffsToPlaintext(w, level, scale)
+	pt, err := e.coeffsToPlaintext(w, level, scale)
+	stageDone("encode", mark)
+	return pt, err
 }
 
 // EncodeReals packs real values (imaginary parts zero).

@@ -210,6 +210,7 @@ func (ev *Evaluator) mergeKSAccs(accs []ksAcc) ksAcc {
 //
 //hennlint:transfers-ownership both returned polys are pooled; the caller must PutPoly them
 func (ev *Evaluator) keySwitch(d2 *ring.Poly, digits []EvaluationKeyDigit, level int) (*ring.Poly, *ring.Poly) {
+	mark := stageClock()
 	rq := ev.params.RingQ()
 	rp := ev.params.RingP()
 	n := ev.params.N()
@@ -271,6 +272,7 @@ func (ev *Evaluator) keySwitch(d2 *ring.Poly, digits []EvaluationKeyDigit, level
 	ev.modDownByP(acc.q1, acc.p1, level)
 	rp.PutPoly(acc.p0)
 	rp.PutPoly(acc.p1)
+	stageDone("key_switch", mark)
 	return acc.q0, acc.q1
 }
 
@@ -321,6 +323,7 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 	if level == 0 {
 		return nil, fmt.Errorf("ckks: cannot rescale below level 0")
 	}
+	mark := stageClock()
 	rq := ev.params.RingQ()
 	ql := ev.params.Q()[level]
 	out := &Ciphertext{
@@ -331,6 +334,7 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 	}
 	ev.divideByTopPrime(ct.C0, out.C0, level)
 	ev.divideByTopPrime(ct.C1, out.C1, level)
+	stageDone("rescale", mark)
 	return out, nil
 }
 

@@ -46,6 +46,7 @@ type HoistedDecomposition struct {
 // reuse by any number of RotateHoisted calls. It costs about as much as the
 // decomposition inside one plain rotation.
 func (ev *Evaluator) DecomposeHoisted(ct *Ciphertext) *HoistedDecomposition {
+	mark := stageClock()
 	rq := ev.params.RingQ()
 	rp := ev.params.RingP()
 	n := ev.params.N()
@@ -105,6 +106,7 @@ func (ev *Evaluator) DecomposeHoisted(ct *Ciphertext) *HoistedDecomposition {
 	for i := range digits {
 		rq.PutScratch(digits[i])
 	}
+	stageDone("decompose_hoisted", mark)
 	return dec
 }
 
@@ -151,6 +153,7 @@ func (ev *Evaluator) ConjugateHoisted(dec *HoistedDecomposition) (*Ciphertext, e
 // applied to the precomputed digits and to c0 as an NTT-domain slot
 // permutation fused into the consuming loops.
 func (ev *Evaluator) applyGaloisHoisted(dec *HoistedDecomposition, k int, swk *SwitchingKey) (*Ciphertext, error) {
+	mark := stageClock()
 	ct := dec.ct
 	rq := ev.params.RingQ()
 	rp := ev.params.RingP()
@@ -210,5 +213,6 @@ func (ev *Evaluator) applyGaloisHoisted(dec *HoistedDecomposition, k int, swk *S
 		}
 	})
 	rq.PutPoly(acc.q0)
+	stageDone("rotate_hoisted", mark)
 	return out, nil
 }

@@ -230,6 +230,7 @@ func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
 // destinations are fully overwritten (so raw pool polys suffice), and the
 // two polys that survive into the result are simply never returned.
 func (ev *Evaluator) applyGalois(ct *Ciphertext, k int, swk *SwitchingKey) (*Ciphertext, error) {
+	mark := stageClock()
 	rq := ev.params.RingQ()
 	level := ct.Level
 
@@ -253,6 +254,7 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, k int, swk *SwitchingKey) (*Cip
 	out := &Ciphertext{C0: c0, C1: ks1, Scale: ct.Scale, Level: level}
 	rq.Add(c0, ks0, out.C0)
 	rq.PutPoly(ks0)
+	stageDone("rotate", mark)
 	return out, nil
 }
 

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/efficientfhe/smartpaf/internal/registry"
+	"github.com/efficientfhe/smartpaf/internal/server"
+)
+
+func init() {
+	register("obsdemo", ObservabilityDemo)
+}
+
+// ObservabilityDemo exercises the serving telemetry plane end to end: it
+// drives a burst of encrypted inferences through one server, pulls a request
+// trace by the id the X-Henn-Trace header returned, and prints the
+// stage-level latency breakdown the /v1/traces endpoint serves — where one
+// request's wall time actually goes (queue wait, dispatch, then the CKKS
+// primitive stages inside the unit). It finishes with the /v1/stats
+// quantiles and a /metrics excerpt, the two aggregate views of the same
+// instruments.
+func ObservabilityDemo(opt Options) error {
+	logN, burst := 9, 8
+	if !opt.Fast {
+		logN, burst = 11, 24
+	}
+	workers := opt.Parallel
+	if workers == 0 {
+		workers = 2 // small budget: the burst builds real queue wait
+	}
+
+	model, err := registry.DemoModel(opt.Seed, logN)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Options{MaxBatch: 4, Workers: workers}, model)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+
+	ctx := context.Background()
+	client := server.NewClient("http://"+ln.Addr().String(), nil)
+	sess, err := client.NewSession(ctx, opt.Seed^0x0b5)
+	if err != nil {
+		return err
+	}
+	x := make([]float64, model.InputDim)
+	for i := range x {
+		x[i] = float64(i%5)/5.0 - 0.4
+	}
+	if _, err := sess.Infer(ctx, x); err != nil { // warm caches before timing
+		return err
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, burst)
+	for g := 0; g < burst; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := sess.Infer(ctx, x); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return err
+	}
+
+	// Every burst request was traced; read the newest completed one.
+	traces, err := client.Traces(ctx)
+	if err != nil {
+		return err
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("obsdemo: server retained no traces")
+	}
+	snap := traces[0]
+
+	spans := newTable(fmt.Sprintf("One traced request (%s), N=%d, %d workers", snap.ID, 1<<logN, workers),
+		"span", "start", "duration", "attrs")
+	var unitUs int64
+	for _, sp := range snap.Spans {
+		if sp.Name == "unit" {
+			unitUs = sp.DurUs
+		}
+		attrs := make([]string, 0, len(sp.Attrs))
+		for k, v := range sp.Attrs {
+			attrs = append(attrs, k+"="+v)
+		}
+		spans.addRowf("%s|+%s|%s|%s", sp.Name, us(sp.StartUs), us(sp.DurUs), strings.Join(attrs, " "))
+	}
+	spans.write(opt.W)
+
+	stages := newTable("CKKS stage breakdown inside the unit", "stage", "calls", "total", "share of unit")
+	var stageTotalUs int64
+	for _, st := range snap.Stages {
+		stageTotalUs += st.TotalUs
+	}
+	for _, st := range snap.Stages {
+		share := 0.0
+		if unitUs > 0 {
+			share = float64(st.TotalUs) / float64(unitUs)
+		}
+		stages.addRowf("%s|%d|%s|%s", st.Name, st.Count, us(st.TotalUs), pct(share))
+	}
+	stages.write(opt.W)
+	if unitUs > 0 {
+		fmt.Fprintf(opt.W, "\nstages cover %s of the %s unit span (%s); the remainder is\n",
+			us(stageTotalUs), us(unitUs), pct(float64(stageTotalUs)/float64(unitUs)))
+		fmt.Fprintln(opt.W, "unobserved glue (additions, scheduling seams between instrumented stages).")
+	}
+
+	st, err := client.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	agg := newTable("Aggregate view: /v1/stats per-model quantiles", "model", "units", "unit p50", "unit p99", "queue p50", "queue p99")
+	for _, ms := range st.Models {
+		agg.addRowf("%s@%d|%d|%.1fms|%.1fms|%.1fms|%.1fms",
+			ms.Name, ms.Version, ms.UnitsRun, ms.UnitP50Ms, ms.UnitP99Ms, ms.QueueP50Ms, ms.QueueP99Ms)
+	}
+	agg.write(opt.W)
+	fmt.Fprintf(opt.W, "\nruntime: uptime %.1fs, %d goroutines, %.1f MiB heap, peak in-flight %d/%d\n",
+		st.UptimeSeconds, st.Goroutines, float64(st.HeapBytes)/(1<<20), st.PeakInFlight, st.Workers)
+
+	body, err := client.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(opt.W, "\n/metrics excerpt (Prometheus text exposition):")
+	for _, line := range strings.Split(body, "\n") {
+		for _, prefix := range []string{"henn_units_run_total", "henn_unit_seconds_count", "henn_unit_seconds_sum",
+			"henn_queue_wait_seconds_count", "henn_ckks_stage_seconds_count"} {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Fprintln(opt.W, "  "+line)
+			}
+		}
+	}
+	return nil
+}
+
+// us renders a microsecond count as a human duration.
+func us(v int64) string {
+	return (time.Duration(v) * time.Microsecond).Round(10 * time.Microsecond).String()
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/efficientfhe/smartpaf/internal/ckks"
 	"github.com/efficientfhe/smartpaf/internal/parallel"
+	"github.com/efficientfhe/smartpaf/internal/telemetry"
 )
 
 // InferBatch runs the MLP on a batch of independent encrypted inputs,
@@ -41,11 +42,20 @@ type Unit struct {
 	Ctx *Context
 	MLP *MLP
 	CT  *ckks.Ciphertext
+
+	// Trace, when non-nil, receives the unit's per-stage timing breakdown
+	// (rotations, key switches, rescales, encodes, PAF evaluation). The
+	// scheduler sets it from the request's trace; batch harnesses leave it
+	// nil and pay only a pointer test per stage.
+	Trace *telemetry.Trace
 }
 
 // Run executes the unit on the model's serving path (see MLP.PreferBSGS):
 // the session's rotation keys were generated for exactly that path's steps.
-func (u Unit) Run() (*ckks.Ciphertext, error) { return u.Ctx.inferPath(u.MLP)(u.MLP, u.CT) }
+func (u Unit) Run() (*ckks.Ciphertext, error) {
+	ctx := u.Ctx.WithTrace(u.Trace)
+	return ctx.inferPath(u.MLP)(u.MLP, u.CT)
+}
 
 // inferPath picks the evaluation method matching the model's advertised
 // rotation set — BSGS with hoisted baby rotations when it needs fewer keys,

@@ -112,14 +112,19 @@ func (ctx *Context) ApplyLinearBSGS(l *Linear, ct *ckks.Ciphertext) (*ckks.Ciphe
 	// so each rotation after the first costs only the permuted key
 	// multiply-accumulate. The giant rotations act on per-block inner sums —
 	// all distinct ciphertexts — so they stay on the plain path.
+	tr := ctx.trace
+	mark := tr.StageStart()
 	dec := ctx.Eval.DecomposeHoisted(ct)
+	tr.StageEnd("decompose_hoisted", mark)
 	defer dec.Release()
 	babyCache := map[int]*ckks.Ciphertext{0: ct}
 	baby := func(b int) (*ckks.Ciphertext, error) {
 		if r, ok := babyCache[b]; ok {
 			return r, nil
 		}
+		mark := tr.StageStart()
 		r, err := ctx.Eval.RotateHoisted(dec, b)
+		tr.StageEnd("rotate_hoisted", mark)
 		if err != nil {
 			return nil, err
 		}
@@ -141,6 +146,7 @@ func (ctx *Context) ApplyLinearBSGS(l *Linear, ct *ckks.Ciphertext) (*ckks.Ciphe
 			if err != nil {
 				return nil, fmt.Errorf("henn: baby rotation %d: %w", b, err)
 			}
+			mark := tr.StageStart()
 			pt, err := l.encodedPlaintext(
 				ptKey{enc: ctx.Enc, d: d, bsgs: true, level: rb.Level, scale: constScale},
 				func() []float64 {
@@ -152,22 +158,29 @@ func (ctx *Context) ApplyLinearBSGS(l *Linear, ct *ckks.Ciphertext) (*ckks.Ciphe
 					}
 					return rotated
 				})
+			tr.StageEnd("encode", mark)
 			if err != nil {
 				return nil, err
 			}
+			mark = tr.StageStart()
 			term := ctx.Eval.MulPlain(rb, pt)
 			if inner == nil {
 				inner = term
+				tr.StageEnd("mul_plain", mark)
 				continue
 			}
-			if inner, err = ctx.Eval.Add(inner, term); err != nil {
+			inner, err = ctx.Eval.Add(inner, term)
+			tr.StageEnd("mul_plain", mark)
+			if err != nil {
 				return nil, err
 			}
 		}
 		if inner == nil {
 			continue
 		}
+		mark := tr.StageStart()
 		rotated, err := ctx.Eval.Rotate(inner, g*n1)
+		tr.StageEnd("rotate", mark)
 		if err != nil {
 			return nil, fmt.Errorf("henn: giant rotation %d: %w", g*n1, err)
 		}
@@ -180,7 +193,9 @@ func (ctx *Context) ApplyLinearBSGS(l *Linear, ct *ckks.Ciphertext) (*ckks.Ciphe
 		}
 	}
 
+	mark = tr.StageStart()
 	out, err := ctx.Eval.Rescale(acc)
+	tr.StageEnd("rescale", mark)
 	if err != nil {
 		return nil, err
 	}

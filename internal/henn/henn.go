@@ -16,6 +16,7 @@ import (
 	"github.com/efficientfhe/smartpaf/internal/hepoly"
 	"github.com/efficientfhe/smartpaf/internal/nn"
 	"github.com/efficientfhe/smartpaf/internal/paf"
+	"github.com/efficientfhe/smartpaf/internal/telemetry"
 )
 
 // Linear is a plaintext-weight fully connected layer applied to an encrypted
@@ -266,11 +267,30 @@ type Context struct {
 	Enc    *ckks.Encoder
 	Eval   *ckks.Evaluator // must hold relinearization + rotation keys
 	HE     *hepoly.Evaluator
+
+	// trace receives per-stage timing for one request; nil (the default)
+	// disables recording at the cost of a pointer test per stage. Set via
+	// WithTrace, never mutated on a shared Context.
+	trace *telemetry.Trace
 }
 
 // NewContext wires a context from an evaluator with keys attached.
 func NewContext(params *ckks.Parameters, enc *ckks.Encoder, eval *ckks.Evaluator) *Context {
 	return &Context{Params: params, Enc: enc, Eval: eval, HE: hepoly.NewEvaluator(eval)}
+}
+
+// WithTrace returns a Context recording per-stage timings into tr. A
+// session's Context is shared by every in-flight unit, so the trace rides
+// on a per-request shallow copy — all heavy state (parameters, keys, layer
+// caches) stays shared; only the trace pointer differs. A nil tr returns
+// the receiver unchanged.
+func (ctx *Context) WithTrace(tr *telemetry.Trace) *Context {
+	if tr == nil {
+		return ctx
+	}
+	c := *ctx
+	c.trace = tr
+	return &c
 }
 
 // ApplyLinear computes Wx + b on the encrypted vector via the diagonal
@@ -288,31 +308,42 @@ func (ctx *Context) ApplyLinear(l *Linear, ct *ckks.Ciphertext) (*ckks.Ciphertex
 	constScale := targetScale * ql / ct.Scale // = ql: lands back on targetScale
 
 	plan := l.diagonalPlan(slots)
+	tr := ctx.trace
 	var acc *ckks.Ciphertext
 	for _, d := range plan.diags {
+		mark := tr.StageStart()
 		rot, err := ctx.Eval.Rotate(ct, d)
+		tr.StageEnd("rotate", mark)
 		if err != nil {
 			return nil, fmt.Errorf("henn: diagonal %d: %w", d, err)
 		}
+		mark = tr.StageStart()
 		pt, err := l.encodedPlaintext(
 			ptKey{enc: ctx.Enc, d: d, level: rot.Level, scale: constScale},
 			func() []float64 { return plan.vec[d] })
+		tr.StageEnd("encode", mark)
 		if err != nil {
 			return nil, err
 		}
+		mark = tr.StageStart()
 		term := ctx.Eval.MulPlain(rot, pt)
 		if acc == nil {
 			acc = term
+			tr.StageEnd("mul_plain", mark)
 			continue
 		}
-		if acc, err = ctx.Eval.Add(acc, term); err != nil {
+		acc, err = ctx.Eval.Add(acc, term)
+		tr.StageEnd("mul_plain", mark)
+		if err != nil {
 			return nil, err
 		}
 	}
 	if acc == nil {
 		return nil, fmt.Errorf("henn: all-zero weight matrix")
 	}
+	mark := tr.StageStart()
 	out, err := ctx.Eval.Rescale(acc)
+	tr.StageEnd("rescale", mark)
 	if err != nil {
 		return nil, err
 	}
@@ -329,6 +360,8 @@ func (l *Linear) addBias(ctx *Context, out *ckks.Ciphertext) (*ckks.Ciphertext, 
 		return out, nil
 	}
 	slots := ctx.Params.Slots()
+	tr := ctx.trace
+	mark := tr.StageStart()
 	pt, err := l.encodedPlaintext(
 		ptKey{enc: ctx.Enc, d: -1, level: out.Level, scale: out.Scale},
 		func() []float64 {
@@ -336,20 +369,30 @@ func (l *Linear) addBias(ctx *Context, out *ckks.Ciphertext) (*ckks.Ciphertext, 
 			copy(bias, l.B)
 			return bias
 		})
+	tr.StageEnd("encode", mark)
 	if err != nil {
 		return nil, err
 	}
-	return ctx.Eval.AddPlain(out, pt)
+	mark = tr.StageStart()
+	res, err := ctx.Eval.AddPlain(out, pt)
+	tr.StageEnd("add_plain", mark)
+	return res, err
 }
 
 // ApplyActivation computes Scale·relu_p(x/Scale): one constant level for the
 // input normalization, then the folded-scale PAF ReLU.
 func (ctx *Context) ApplyActivation(a *Activation, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	tr := ctx.trace
+	mark := tr.StageStart()
 	u, err := ctx.Eval.MulConstTargetScale(ct, 1/a.Scale, ct.Scale)
+	tr.StageEnd("mul_const", mark)
 	if err != nil {
 		return nil, err
 	}
-	return ctx.HE.ReLUScaled(a.PAF, u, a.Scale)
+	mark = tr.StageStart()
+	out, err := ctx.HE.ReLUScaled(a.PAF, u, a.Scale)
+	tr.StageEnd("paf_eval", mark)
+	return out, err
 }
 
 // Infer runs the full MLP on an encrypted input vector.

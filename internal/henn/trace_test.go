@@ -1,0 +1,78 @@
+package henn
+
+import (
+	"testing"
+
+	"github.com/efficientfhe/smartpaf/internal/telemetry"
+)
+
+// TestUnitTraceStages runs one Unit with a trace attached and checks the
+// stage breakdown: the CKKS primitive stages the serving path executes all
+// appear, and their total accounts for the bulk of the unit's wall time —
+// the property the /v1/traces endpoint's breakdown rests on.
+func TestUnitTraceStages(t *testing.T) {
+	ctx, mlp, encryptor, _ := batchTestMLP(t)
+	vec := make([]float64, ctx.Params.Slots())
+	for j := 0; j < 8; j++ {
+		vec[j] = 0.1 * float64(j)
+	}
+	pt, err := ctx.Enc.EncodeReals(vec, ctx.Params.MaxLevel(), ctx.Params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := encryptor.Encrypt(pt)
+
+	tr := telemetry.NewTrace("unit-test")
+	sp := tr.StartSpan("unit")
+	if _, err := (Unit{Ctx: ctx, MLP: mlp, CT: ct, Trace: tr}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+
+	snap := tr.Snapshot()
+	stages := map[string]telemetry.StageSnapshot{}
+	var stageTotalUs int64
+	for _, s := range snap.Stages {
+		stages[s.Name] = s
+		stageTotalUs += s.TotalUs
+	}
+	// The test MLP prefers the BSGS path (batchTestMLP generates its
+	// rotation keys), so the hoisted stages plus the shared ones must all
+	// be present.
+	for _, want := range []string{"mul_plain", "encode", "rescale", "mul_const", "paf_eval", "add_plain"} {
+		if stages[want].Count == 0 {
+			t.Errorf("stage %q missing from trace; got %+v", want, snap.Stages)
+		}
+	}
+	if stages["decompose_hoisted"].Count == 0 && stages["rotate"].Count == 0 {
+		t.Errorf("neither hoisted nor plain rotations recorded: %+v", snap.Stages)
+	}
+	if len(snap.Spans) != 1 {
+		t.Fatalf("spans = %+v, want the single unit span", snap.Spans)
+	}
+	unitUs := snap.Spans[0].DurUs
+	if stageTotalUs > unitUs {
+		t.Fatalf("stage total %dµs exceeds unit wall time %dµs", stageTotalUs, unitUs)
+	}
+	if stageTotalUs*2 < unitUs {
+		t.Fatalf("stage total %dµs covers under half of unit wall time %dµs — instrumentation gap", stageTotalUs, unitUs)
+	}
+
+	// A traced run must not leave a trace behind on the shared context.
+	if ctx.trace != nil {
+		t.Fatal("shared Context mutated by WithTrace")
+	}
+}
+
+// TestUnitNoTrace: the untraced path records nothing and still works.
+func TestUnitNoTrace(t *testing.T) {
+	ctx, mlp, encryptor, _ := batchTestMLP(t)
+	vec := make([]float64, ctx.Params.Slots())
+	pt, err := ctx.Enc.EncodeReals(vec, ctx.Params.MaxLevel(), ctx.Params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Unit{Ctx: ctx, MLP: mlp, CT: encryptor.Encrypt(pt)}).Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,9 +20,12 @@ import (
 // secret key the Decryptor holds.
 //
 // Sinks are the ways bytes leave the process or land somewhere
-// inspectable: fmt/log formatting, MarshalBinary-family methods,
-// encoding/json//gob/binary serialization, and writes to an
-// http.ResponseWriter. A sink call reached by a tainted value is
+// inspectable: fmt/log/slog formatting, MarshalBinary-family methods,
+// encoding/json//gob/binary serialization, writes to an
+// http.ResponseWriter, telemetry span attributes (Span.SetAttr,
+// Trace.AddSpan — traces are served back at /v1/traces) and metric
+// label values (CounterVec/HistogramVec With and Find — labels are
+// rendered at /metrics). A sink call reached by a tainted value is
 // reported unless the line (or the line above it) carries
 // //hennlint:secret-sink-ok, the audited escape hatch.
 var Secretflow = &Analyzer{
@@ -306,6 +309,20 @@ func (s *secretflowPass) checkSinkCall(call *ast.CallExpr) {
 		if (fn.Name() == "Write" || fn.Name() == "WriteString") && namedTypeName(sig.Recv().Type()) == "ResponseWriter" {
 			for _, arg := range call.Args {
 				s.reportIfTainted(call, arg, "ResponseWriter."+fn.Name())
+			}
+			return
+		}
+		// Telemetry attributes land in trace snapshots served at
+		// /v1/traces, and metric label values render at /metrics — both
+		// inspectable over the network.
+		recv := namedTypeName(sig.Recv().Type())
+		spanSink := (fn.Name() == "SetAttr" && recv == "Span") ||
+			(fn.Name() == "AddSpan" && recv == "Trace")
+		labelSink := (fn.Name() == "With" || fn.Name() == "Find") &&
+			(recv == "CounterVec" || recv == "HistogramVec")
+		if spanSink || labelSink {
+			for _, arg := range call.Args {
+				s.reportIfTainted(call, arg, recv+"."+fn.Name())
 			}
 			return
 		}

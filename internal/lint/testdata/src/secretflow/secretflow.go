@@ -14,7 +14,10 @@ import (
 
 type Poly struct{ Coeffs []uint64 }
 
-type SecretKey struct{ Q, P *Poly }
+type SecretKey struct {
+	Q, P *Poly
+	ID   string // key fingerprint: still secret material by containing type
+}
 
 func (sk *SecretKey) MarshalBinary() ([]byte, error) { return nil, nil }
 
@@ -89,4 +92,44 @@ func goodPublicKey(kg *KeyGenerator) ([]byte, error) {
 // printable).
 func goodSeedOutsideCrypto(seed int64) {
 	fmt.Println("demo weights seed", seed)
+}
+
+// The telemetry shapes mirror internal/telemetry by name only, like the
+// crypto types above: spans and traces are served back over HTTP at
+// /v1/traces, metric label values render at /metrics, so attribute and
+// label arguments are sinks.
+
+type Span struct{}
+
+func (sp *Span) SetAttr(k, v string) {}
+
+type Trace struct{}
+
+func (tr *Trace) AddSpan(name string, attrs ...string) {}
+
+type Histogram struct{}
+
+type HistogramVec struct{}
+
+func (v *HistogramVec) With(values ...string) *Histogram { return nil }
+
+// badSpanAttr attaches key bytes to a span that /v1/traces serves.
+func badSpanAttr(sp *Span, sk *SecretKey) {
+	sp.SetAttr("key", sk.ID) // want "reaches sink Span.SetAttr"
+}
+
+// badTraceSpan leaks through a span attribute at trace level.
+func badTraceSpan(tr *Trace, sk *SecretKey) {
+	tr.AddSpan("keygen", sk.ID) // want "reaches sink Trace.AddSpan"
+}
+
+// badMetricLabel turns key material into a /metrics label value.
+func badMetricLabel(vec *HistogramVec, sk *SecretKey) {
+	vec.With(sk.ID) // want "reaches sink HistogramVec.With"
+}
+
+// goodSpanAttr: public attributes (model refs, routes) stay legal.
+func goodSpanAttr(sp *Span, tr *Trace) {
+	sp.SetAttr("model", "demo@1")
+	tr.AddSpan("request", "code", "200")
 }

@@ -3,6 +3,7 @@ package parallel
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Pool is a fixed budget of worker goroutines executing submitted tasks in
@@ -22,6 +23,24 @@ type Pool struct {
 
 	running atomic.Int64
 	peak    atomic.Int64
+	obs     atomic.Pointer[TaskObserver]
+}
+
+// TaskObserver receives, for every task the pool executes, how long the
+// task waited between submission and a worker picking it up (with a
+// zero-depth buffer this is exactly the rendezvous wait against the worker
+// budget) and how long it ran. Observers must be fast and must not submit
+// to the pool.
+type TaskObserver func(wait, run time.Duration)
+
+// SetTaskObserver installs fn as the pool's task observer; nil uninstalls.
+// Only tasks submitted after the call are observed.
+func (p *Pool) SetTaskObserver(fn TaskObserver) {
+	if fn == nil {
+		p.obs.Store(nil)
+		return
+	}
+	p.obs.Store(&fn)
 }
 
 // NewPool starts a pool with the given worker budget, resolved through
@@ -80,6 +99,15 @@ func (p *Pool) run(task func()) {
 // full. It reports false — and has not enqueued the task — once the pool is
 // closed; a true return guarantees the task runs before Close returns.
 func (p *Pool) Submit(task func()) bool {
+	if obs := p.obs.Load(); obs != nil {
+		inner := task
+		submitted := time.Now()
+		task = func() {
+			start := time.Now()
+			inner()
+			(*obs)(start.Sub(submitted), time.Since(start))
+		}
+	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.down {

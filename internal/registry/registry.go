@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/efficientfhe/smartpaf/internal/ckks"
 	"github.com/efficientfhe/smartpaf/internal/henn"
@@ -75,6 +76,10 @@ type Deployed struct {
 	paramBytes []byte
 	levels     int
 	rotations  []int
+	// compileTime is how long compile spent building the stack (parameter
+	// compilation plus diagonal-plan warming); the server's telemetry plane
+	// records it per deploy.
+	compileTime time.Duration
 	// delist removes this version from its registry's catalog once the
 	// stack frees; set at publish time, nil for never-published stacks.
 	delist func()
@@ -116,6 +121,9 @@ func (d *Deployed) Levels() int { return d.levels }
 
 // Rotations returns the rotation steps a session's key set must cover.
 func (d *Deployed) Rotations() []int { return d.rotations }
+
+// CompileTime reports how long the deploy-time compilation of this stack took.
+func (d *Deployed) CompileTime() time.Duration { return d.compileTime }
 
 // AddUnitRun bumps the per-model inference counter.
 func (d *Deployed) AddUnitRun() { d.unitsRun.Add(1) }
@@ -298,6 +306,7 @@ func (r *Registry) UseStore(s *Store) (warnings []error) {
 // compile validates the model and builds its serving stack (expensive:
 // parameter compilation and plan warming), outside any catalog lock.
 func compile(m *Model) (*Deployed, error) {
+	start := time.Now()
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -334,8 +343,9 @@ func compile(m *Model) (*Deployed, error) {
 		// builds (and caches) every linear layer's diagonal plan, so the first
 		// inference after a hot deploy does not pay the O(slots·Out) plan
 		// derivation.
-		rotations: m.MLP.ServingRotations(slots),
-		drained:   make(chan struct{}),
+		rotations:   m.MLP.ServingRotations(slots),
+		compileTime: time.Since(start),
+		drained:     make(chan struct{}),
 	}, nil
 }
 

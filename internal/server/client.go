@@ -12,6 +12,7 @@ import (
 
 	"github.com/efficientfhe/smartpaf/internal/ckks"
 	"github.com/efficientfhe/smartpaf/internal/registry"
+	"github.com/efficientfhe/smartpaf/internal/telemetry"
 )
 
 // Client talks to a hennserve instance. It is safe for concurrent use.
@@ -113,6 +114,48 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 		return nil, err
 	}
 	return st, nil
+}
+
+// Traces fetches the server's retained request traces, newest first. Each
+// snapshot carries the request's spans (queue wait, dispatch, unit) and the
+// per-stage CKKS timing breakdown aggregated by the unit.
+func (c *Client) Traces(ctx context.Context) ([]telemetry.TraceSnapshot, error) {
+	var snaps []telemetry.TraceSnapshot
+	if err := c.getJSON(ctx, "/v1/traces", &snaps); err != nil {
+		return nil, err
+	}
+	return snaps, nil
+}
+
+// Trace fetches one retained trace by the id the X-Henn-Trace response
+// header carried (see Session.InferCiphertextTraced).
+func (c *Client) Trace(ctx context.Context, id string) (*telemetry.TraceSnapshot, error) {
+	snap := new(telemetry.TraceSnapshot)
+	if err := c.getJSON(ctx, "/v1/traces/"+url.PathEscape(id), snap); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Metrics fetches the server's Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
 }
 
 // Deploy hot-deploys a model (admin): the bundle crosses the wire in the
@@ -315,33 +358,43 @@ func (s *Session) Model() *ModelInfo { return s.info }
 // InferCiphertext round-trips one already-encrypted input through the
 // server and returns the encrypted result.
 func (s *Session) InferCiphertext(ctx context.Context, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	out, _, err := s.InferCiphertextTraced(ctx, ct)
+	return out, err
+}
+
+// InferCiphertextTraced is InferCiphertext plus the server-assigned trace
+// id from the X-Henn-Trace response header; fetch the stage-level breakdown
+// with Client.Trace once the response has been written (the server retains
+// a bounded ring of completed traces).
+func (s *Session) InferCiphertextTraced(ctx context.Context, ct *ckks.Ciphertext) (*ckks.Ciphertext, string, error) {
 	data, err := ct.MarshalBinary()
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	url := fmt.Sprintf("%s/v1/sessions/%s/infer", s.c.base, s.id)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := s.c.hc.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer resp.Body.Close()
+	traceID := resp.Header.Get("X-Henn-Trace")
 	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
+		return nil, traceID, apiError(resp)
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, traceID, err
 	}
 	out := new(ckks.Ciphertext)
 	if err := out.UnmarshalBinary(body); err != nil {
-		return nil, fmt.Errorf("decoding result ciphertext: %w", err)
+		return nil, traceID, fmt.Errorf("decoding result ciphertext: %w", err)
 	}
-	return out, nil
+	return out, traceID, nil
 }
 
 // Infer encrypts the input vector, runs it through the server and returns

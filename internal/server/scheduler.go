@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -272,9 +273,24 @@ claim:
 		// reference does not cover the unit, because the session may be
 		// removed (releasing that reference) while the unit is in flight.
 		sess.dep.Retain()
+		// Queue wait ends here: the job leaves the dispatcher's hands for
+		// the pool rendezvous, which the trace's dispatch span covers.
+		submitted := time.Now()
+		sess.queueWait.Record(submitted.Sub(job.enqueuedAt))
+		job.trace.AddSpan("queue_wait", job.enqueuedAt, submitted)
 		ok := d.pool.Submit(func() {
 			defer sess.dep.Release()
-			out, err := henn.Unit{Ctx: sess.ctx, MLP: sess.dep.Model().MLP, CT: job.ct}.Run()
+			runStart := time.Now()
+			job.trace.AddSpan("dispatch", submitted, runStart,
+				[2]string{"model", sess.dep.Ref()})
+			out, err := henn.Unit{Ctx: sess.ctx, MLP: sess.dep.Model().MLP, CT: job.ct, Trace: job.trace}.Run()
+			end := time.Now()
+			sess.unitLat.Record(end.Sub(runStart))
+			if err != nil {
+				job.trace.AddSpan("unit", runStart, end, [2]string{"error", err.Error()})
+			} else {
+				job.trace.AddSpan("unit", runStart, end)
+			}
 			job.done <- inferResult{ct: out, err: err}
 		})
 		// Count the unit here, after the claimed decrement, not inside the
@@ -366,6 +382,14 @@ type ModelStats struct {
 	Backlog int `json:"backlog"`
 	// UnitsRun counts inference units executed against the version.
 	UnitsRun int64 `json:"unitsRun"`
+	// Unit-latency and queue-wait quantiles in milliseconds, read from the
+	// server's log-bucketed histograms (~±50% bucket resolution). Omitted
+	// until the version has executed at least one unit.
+	UnitP50Ms  float64 `json:"unitP50Ms,omitempty"`
+	UnitP95Ms  float64 `json:"unitP95Ms,omitempty"`
+	UnitP99Ms  float64 `json:"unitP99Ms,omitempty"`
+	QueueP50Ms float64 `json:"queueP50Ms,omitempty"`
+	QueueP99Ms float64 `json:"queueP99Ms,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of scheduler counters, served at
@@ -387,6 +411,12 @@ type Stats struct {
 	// PeakInFlight is the high-water mark of concurrently executing units;
 	// it never exceeds Workers.
 	PeakInFlight int `json:"peakInFlight"`
+	// UptimeSeconds is how long ago the server was built.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Goroutines is the live goroutine count of the serving process.
+	Goroutines int `json:"goroutines"`
+	// HeapBytes is the in-use heap (runtime.MemStats.HeapAlloc).
+	HeapBytes uint64 `json:"heap_bytes"`
 	// Models breaks sessions, backlog and executed units down per deployed
 	// model version, sorted by name then version. Retired versions drop out
 	// of the snapshot; draining ones stay until their last session releases.
@@ -406,6 +436,17 @@ func (s *Server) Stats() Stats {
 			Draining: d.Draining(),
 			UnitsRun: d.UnitsRun(),
 		}
+		// Find (not With): a version no session ever ran units for has no
+		// series, and a stats scrape must not create one.
+		if h := s.unitLat.Find(d.Ref()); h.Count() > 0 {
+			perModel[i].UnitP50Ms = h.Quantile(0.50) * 1e3
+			perModel[i].UnitP95Ms = h.Quantile(0.95) * 1e3
+			perModel[i].UnitP99Ms = h.Quantile(0.99) * 1e3
+		}
+		if h := s.queueWait.Find(d.Ref()); h.Count() > 0 {
+			perModel[i].QueueP50Ms = h.Quantile(0.50) * 1e3
+			perModel[i].QueueP99Ms = h.Quantile(0.99) * 1e3
+		}
 		index[d] = &perModel[i]
 	}
 	backlog := 0
@@ -419,13 +460,18 @@ func (s *Server) Stats() Stats {
 		}
 	}
 	s.mu.RUnlock()
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
 	return Stats{
-		Workers:      s.sched.pool.Workers(),
-		Backlog:      backlog,
-		UnitsRun:     s.sched.unitsRun.Load(),
-		UnitsAborted: s.sched.unitsAborted.Load(),
-		Quanta:       s.sched.quanta.Load(),
-		PeakInFlight: s.sched.pool.Peak(),
-		Models:       perModel,
+		Workers:       s.sched.pool.Workers(),
+		Backlog:       backlog,
+		UnitsRun:      s.sched.unitsRun.Load(),
+		UnitsAborted:  s.sched.unitsAborted.Load(),
+		Quanta:        s.sched.quanta.Load(),
+		PeakInFlight:  s.sched.pool.Peak(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		HeapBytes:     mem.HeapAlloc,
+		Models:        perModel,
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"github.com/efficientfhe/smartpaf/internal/ckks"
 	"github.com/efficientfhe/smartpaf/internal/henn"
 	"github.com/efficientfhe/smartpaf/internal/registry"
+	"github.com/efficientfhe/smartpaf/internal/telemetry"
 )
 
 // maxSessionWeight caps the QoS weight a single session can carry, so a
@@ -85,6 +87,10 @@ type Options struct {
 	MaxBodyBytes int64
 	// QueueDepth is the per-session request queue. Default 1024.
 	QueueDepth int
+	// AccessLog, when set, receives one structured record per HTTP request
+	// (method, path, session, model, status, bytes, duration, trace id).
+	// Nil disables access logging; cmd/hennserve wires -log-requests here.
+	AccessLog *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -121,6 +127,21 @@ type Server struct {
 	opts  Options
 	sched *scheduler
 
+	// Telemetry plane (see telemetry.go): built once in New, immutable
+	// after. The scheduler and handlers record into these lock-cheaply;
+	// GET /metrics renders the registry, GET /v1/traces reads the ring.
+	start      time.Time
+	metrics    *telemetry.Registry
+	traces     *telemetry.TraceRing
+	httpReqs   *telemetry.CounterVec
+	httpLat    *telemetry.HistogramVec
+	unitLat    *telemetry.HistogramVec
+	queueWait  *telemetry.HistogramVec
+	poolWait   *telemetry.Histogram
+	poolRun    *telemetry.Histogram
+	compileLat *telemetry.Histogram
+	stageLat   *telemetry.HistogramVec
+
 	mu sync.RWMutex
 	// sessions is the live session table, guarded by mu. closed is not:
 	// it is created once and only ever closed under the lock, while
@@ -152,6 +173,12 @@ type session struct {
 	// hold a claimed quantum for a while); Stats adds it to the backlog.
 	claimed atomic.Int64
 
+	// unitLat and queueWait are this session's model-labeled latency
+	// series, resolved once at registration so the dispatch hot path
+	// records without a label lookup. Immutable after registration.
+	unitLat   *telemetry.Histogram
+	queueWait *telemetry.Histogram
+
 	// Scheduler turn state, owned by the dispatcher: whether the session
 	// sits in the fair ring, is being served a turn, and when its batch
 	// window expires.
@@ -166,6 +193,11 @@ func (sess *session) touch() { sess.lastUsed.Store(time.Now().UnixNano()) }
 type inferJob struct {
 	ct   *ckks.Ciphertext
 	done chan inferResult
+	// enqueuedAt timestamps the accept, for queue-wait accounting; trace is
+	// the request's trace, threaded through the scheduler into the unit
+	// (nil on untraced submissions).
+	enqueuedAt time.Time
+	trace      *telemetry.Trace
 }
 
 type inferResult struct {
@@ -190,6 +222,7 @@ func New(opts Options, models ...*registry.Model) (*Server, error) {
 		sessions: map[string]*session{},
 		closed:   make(chan struct{}),
 	}
+	s.initTelemetry()
 	if opts.StateDir != "" {
 		store, err := registry.OpenStore(opts.StateDir)
 		if err != nil {
@@ -200,7 +233,8 @@ func New(opts Options, models ...*registry.Model) (*Server, error) {
 		}
 	}
 	for _, m := range models {
-		if _, err := s.reg.Deploy(m); err != nil {
+		d, err := s.reg.Deploy(m)
+		if err != nil {
 			// With a state dir, the durable catalog wins: a startup model
 			// whose name it already holds is skipped, so restarting with
 			// the same flags is idempotent. Without one, a duplicate
@@ -210,8 +244,10 @@ func New(opts Options, models ...*registry.Model) (*Server, error) {
 			}
 			return nil, fmt.Errorf("server: %w", err)
 		}
+		s.compileLat.Record(d.CompileTime())
 	}
 	s.sched = newScheduler(s)
+	s.installObservers()
 	s.wg.Add(1)
 	go s.sched.run()
 	if s.opts.SessionTTL > 0 {
@@ -315,7 +351,9 @@ func (s *Server) Close() {
 	s.sched.pool.Close()
 }
 
-// Handler returns the HTTP API.
+// Handler returns the HTTP API, wrapped in the telemetry middleware (see
+// instrument in telemetry.go): every route is counted and timed, and infer
+// requests are traced end to end.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/model", s.handleModel)
@@ -324,10 +362,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/models", s.admin(s.handleDeploy))
 	mux.HandleFunc("DELETE /v1/models/{name}", s.admin(s.handleRetire))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceByID)
 	mux.HandleFunc("POST /v1/sessions", s.handleRegister)
-	mux.HandleFunc("POST /v1/sessions/{id}/infer", s.handleInfer)
+	mux.HandleFunc(routeInfer, s.handleInfer)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
-	return mux
+	mux.Handle("GET /metrics", s.MetricsHandler())
+	return s.instrument(mux)
 }
 
 // admin guards a mutation handler with the bearer token when Options.
@@ -453,6 +494,7 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "deploy: %v", err)
 		return
 	}
+	s.compileLat.Record(d.CompileTime())
 	writeJSON(w, http.StatusCreated, infoFor(d))
 }
 
@@ -609,11 +651,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	eval := ckks.NewEvaluator(params, rlk).WithRotationKeys(rks)
 	sess := &session{
-		dep:    dep,
-		ctx:    henn.NewContext(params, dep.Encoder(), eval),
-		weight: weight,
-		jobs:   make(chan *inferJob, s.opts.QueueDepth),
-		done:   make(chan struct{}),
+		dep:       dep,
+		ctx:       henn.NewContext(params, dep.Encoder(), eval),
+		weight:    weight,
+		jobs:      make(chan *inferJob, s.opts.QueueDepth),
+		done:      make(chan struct{}),
+		unitLat:   s.unitLat.With(dep.Ref()),
+		queueWait: s.queueWait.With(dep.Ref()),
 	}
 	sess.touch()
 	idBytes := make([]byte, 16)
@@ -745,7 +789,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sess.touch()
-	job := &inferJob{ct: ct, done: make(chan inferResult, 1)}
+	job := &inferJob{
+		ct:         ct,
+		done:       make(chan inferResult, 1),
+		enqueuedAt: time.Now(),
+		trace:      telemetry.FromContext(r.Context()),
+	}
 	select {
 	case sess.jobs <- job:
 	case <-sess.done:

@@ -1,0 +1,301 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/efficientfhe/smartpaf/internal/registry"
+	"github.com/efficientfhe/smartpaf/internal/telemetry"
+)
+
+// inferOnce registers a session against the test server and runs one traced
+// inference, returning the client, session and trace id.
+func inferOnce(t *testing.T, ts *httptest.Server, model *registry.Model) (*Client, *Session, string) {
+	t.Helper()
+	ctx := context.Background()
+	c := NewClient(ts.URL, nil)
+	sess, err := c.NewSession(ctx, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, model.InputDim)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	vec := make([]float64, sess.params.Slots())
+	copy(vec, x)
+	pt, err := sess.enc.EncodeReals(vec, sess.params.MaxLevel(), sess.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, traceID, err := sess.InferCiphertextTraced(ctx, sess.encr.Encrypt(pt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traceID == "" {
+		t.Fatal("infer response carried no X-Henn-Trace header")
+	}
+	return c, sess, traceID
+}
+
+// metricLine is the shape every non-comment Prometheus text line must take.
+// The label block is matched greedily: label values may contain spaces and
+// braces (route patterns like "POST /v1/sessions/{id}/infer").
+var metricLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? \S+$`)
+
+// TestMetricsEndpoint: after one inference, GET /metrics serves parseable
+// Prometheus text exposition with the per-model histograms and runtime
+// gauges the issue promises.
+func TestMetricsEndpoint(t *testing.T) {
+	model, _, ts := newTestServer(t)
+	c, _, _ := inferOnce(t, ts, model)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); !strings.HasPrefix(got, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", got)
+	}
+	body, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every line is either a HELP/TYPE comment or name{labels} value.
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !metricLine.MatchString(line) {
+			t.Errorf("unparseable exposition line: %q", line)
+		}
+	}
+
+	ref := "demo-mlp-16x8x4@1"
+	for _, want := range []string{
+		`henn_unit_seconds_bucket{model="` + ref + `",le="+Inf"} 1`,
+		`henn_unit_seconds_count{model="` + ref + `"} 1`,
+		`henn_queue_wait_seconds_count{model="` + ref + `"} 1`,
+		`henn_http_requests_total{route="POST /v1/sessions/{id}/infer",code="200"} 1`,
+		"# TYPE henn_unit_seconds histogram",
+		"# TYPE henn_units_run_total counter",
+		"henn_units_run_total 1",
+		"henn_uptime_seconds ",
+		"henn_goroutines ",
+		"henn_heap_bytes ",
+		"henn_ckks_stage_seconds_count{stage=",
+		"henn_pool_wait_seconds_count 1",
+		"henn_model_compile_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestInferTraceBreakdown: the trace born at ingress must show the request's
+// journey — queue wait, dispatch, unit — plus at least three CKKS stages
+// whose total accounts for the bulk of (and never exceeds) the unit span.
+func TestInferTraceBreakdown(t *testing.T) {
+	model, _, ts := newTestServer(t)
+	c, _, traceID := inferOnce(t, ts, model)
+	ctx := context.Background()
+
+	snap, err := c.Trace(ctx, traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != traceID {
+		t.Fatalf("trace id = %q, want %q", snap.ID, traceID)
+	}
+	spans := map[string]telemetry.SpanSnapshot{}
+	for _, sp := range snap.Spans {
+		spans[sp.Name] = sp
+	}
+	for _, want := range []string{"request", "queue_wait", "dispatch", "unit"} {
+		if _, ok := spans[want]; !ok {
+			t.Fatalf("trace missing span %q; got %+v", want, snap.Spans)
+		}
+	}
+	unit := spans["unit"]
+	if unit.DurUs > spans["request"].DurUs {
+		t.Errorf("unit span %dµs exceeds request span %dµs", unit.DurUs, spans["request"].DurUs)
+	}
+	if len(snap.Stages) < 3 {
+		t.Fatalf("trace has %d CKKS stages, want >= 3: %+v", len(snap.Stages), snap.Stages)
+	}
+	var stageTotalUs int64
+	for _, st := range snap.Stages {
+		stageTotalUs += st.TotalUs
+	}
+	if stageTotalUs > unit.DurUs {
+		t.Errorf("stage total %dµs exceeds unit span %dµs", stageTotalUs, unit.DurUs)
+	}
+	if stageTotalUs*2 < unit.DurUs {
+		t.Errorf("stage total %dµs covers under half of unit span %dµs — instrumentation gap", stageTotalUs, unit.DurUs)
+	}
+
+	// The ring listing serves the same trace, newest first.
+	snaps, err := c.Traces(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 || snaps[0].ID != traceID {
+		t.Errorf("trace listing does not lead with %q: %+v", traceID, snaps)
+	}
+}
+
+// TestTraceNotFound: an unknown id is a 404, not an empty snapshot.
+func TestTraceNotFound(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/traces/deadbeefdeadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestStatsRuntimeAndQuantiles: /v1/stats now reports process runtime fields
+// and per-model latency quantiles, and the client round-trips them.
+func TestStatsRuntimeAndQuantiles(t *testing.T) {
+	model, _, ts := newTestServer(t)
+	c, _, _ := inferOnce(t, ts, model)
+
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %g, want > 0", st.UptimeSeconds)
+	}
+	if st.Goroutines <= 0 {
+		t.Errorf("goroutines = %d, want > 0", st.Goroutines)
+	}
+	if st.HeapBytes == 0 {
+		t.Error("heap_bytes = 0, want > 0")
+	}
+	if len(st.Models) != 1 {
+		t.Fatalf("models = %+v, want one", st.Models)
+	}
+	ms := st.Models[0]
+	if ms.UnitP50Ms <= 0 || ms.UnitP99Ms < ms.UnitP50Ms {
+		t.Errorf("unit quantiles p50=%g p99=%g, want 0 < p50 <= p99", ms.UnitP50Ms, ms.UnitP99Ms)
+	}
+	if ms.UnitP95Ms < ms.UnitP50Ms {
+		t.Errorf("unit p95 %g below p50 %g", ms.UnitP95Ms, ms.UnitP50Ms)
+	}
+	if ms.QueueP50Ms < 0 || ms.QueueP99Ms < ms.QueueP50Ms {
+		t.Errorf("queue quantiles p50=%g p99=%g out of order", ms.QueueP50Ms, ms.QueueP99Ms)
+	}
+
+	// The wire names are the issue-specified snake_case fields.
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"uptime_seconds"`, `"goroutines"`, `"heap_bytes"`, `"unitP50Ms"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("stats JSON missing %s: %s", key, raw)
+		}
+	}
+}
+
+// syncBuffer serializes concurrent handler writes to one log buffer.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder //hennlint:guarded-by(mu)
+}
+
+func (sb *syncBuffer) Write(p []byte) (int, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.Write(p)
+}
+
+func (sb *syncBuffer) String() string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.String()
+}
+
+// TestAccessLog: with Options.AccessLog set, every request emits one
+// structured record carrying the fields the issue lists; the infer record is
+// attributed to its session, model and trace.
+func TestAccessLog(t *testing.T) {
+	model, err := registry.DemoModel(11, testLogN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := new(syncBuffer)
+	srv, err := New(Options{
+		Workers:   -1,
+		AccessLog: slog.New(slog.NewJSONHandler(buf, nil)),
+	}, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	_, sess, traceID := inferOnce(t, ts, model)
+
+	type record struct {
+		Msg     string `json:"msg"`
+		Method  string `json:"method"`
+		Path    string `json:"path"`
+		Session string `json:"session"`
+		Model   string `json:"model"`
+		Status  int    `json:"status"`
+		Bytes   int64  `json:"bytes"`
+		Trace   string `json:"trace"`
+	}
+	var infer *record
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for _, line := range lines {
+		var rec record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("unparseable access-log line %q: %v", line, err)
+		}
+		if rec.Msg != "request" {
+			t.Errorf("msg = %q, want \"request\"", rec.Msg)
+		}
+		if strings.HasSuffix(rec.Path, "/infer") {
+			infer = &rec
+		}
+	}
+	if len(lines) < 3 { // model fetch, registration, infer at minimum
+		t.Fatalf("access log has %d records, want one per request:\n%s", len(lines), buf.String())
+	}
+	if infer == nil {
+		t.Fatalf("no infer record in access log:\n%s", buf.String())
+	}
+	if infer.Method != http.MethodPost || infer.Status != http.StatusOK {
+		t.Errorf("infer record %+v, want POST / 200", infer)
+	}
+	if infer.Session != sess.ID() || infer.Model != "demo-mlp-16x8x4@1" {
+		t.Errorf("infer attribution session=%q model=%q, want %q / demo-mlp-16x8x4@1", infer.Session, infer.Model, sess.ID())
+	}
+	if infer.Trace != traceID {
+		t.Errorf("infer record trace %q, want %q", infer.Trace, traceID)
+	}
+	if infer.Bytes == 0 {
+		t.Error("infer record reports zero response bytes")
+	}
+}

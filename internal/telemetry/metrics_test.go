@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteTextGolden pins the exact Prometheus text exposition output for
+// a registry exercising every metric kind — counters with and without
+// labels, a scrape-time gauge, and a histogram with samples in three
+// buckets. The format is a wire contract with external scrapers, so it is
+// asserted byte-for-byte.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.NewCounterVec("henn_http_requests_total", "HTTP requests by route and status.", "route", "code")
+	reqs.With("GET /v1/stats", "200").Add(3)
+	reqs.With("POST /v1/sessions", "201").Inc()
+	r.NewGaugeFunc("henn_workers", "Resolved worker budget.", func() float64 { return 4 })
+	lat := r.NewHistogramVec("henn_unit_seconds", "Unit execution latency by model.", "model")
+	h := lat.With("alpha@1")
+	h.Record(500 * time.Nanosecond) // bucket 0: le 1e-06
+	h.Record(3 * time.Microsecond)  // bucket 2: le 4e-06
+	h.Record(3 * time.Microsecond)
+	h.Record(time.Millisecond) // bucket 10: le 0.001024
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP henn_http_requests_total HTTP requests by route and status.
+# TYPE henn_http_requests_total counter
+henn_http_requests_total{route="GET /v1/stats",code="200"} 3
+henn_http_requests_total{route="POST /v1/sessions",code="201"} 1
+# HELP henn_unit_seconds Unit execution latency by model.
+# TYPE henn_unit_seconds histogram
+henn_unit_seconds_bucket{model="alpha@1",le="1e-06"} 1
+henn_unit_seconds_bucket{model="alpha@1",le="4e-06"} 3
+henn_unit_seconds_bucket{model="alpha@1",le="0.001024"} 4
+henn_unit_seconds_bucket{model="alpha@1",le="+Inf"} 4
+henn_unit_seconds_sum{model="alpha@1"} 0.0010065
+henn_unit_seconds_count{model="alpha@1"} 4
+# HELP henn_workers Resolved worker budget.
+# TYPE henn_workers gauge
+henn_workers 4
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestLabelEscaping: label values with quotes, backslashes and newlines
+// must escape per the exposition format.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("c_total", "h", "l").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `c_total{l="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping failed:\n%s", b.String())
+	}
+}
+
+// TestVecWithAndFind: With creates on first use and returns the same
+// series thereafter; Find never creates.
+func TestVecWithAndFind(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("x_total", "h", "k")
+	if got := v.Find("missing"); got != nil {
+		t.Fatal("Find must not create series")
+	}
+	c := v.With("a")
+	c.Inc()
+	if v.With("a") != c {
+		t.Fatal("With must return the same series for equal labels")
+	}
+	if got := v.Find("a"); got != c {
+		t.Fatal("Find must return the created series")
+	}
+	hv := r.NewHistogramVec("y_seconds", "h", "k")
+	hh := hv.With("a")
+	hh.Record(time.Millisecond)
+	if hv.Find("a") != hh || hv.Find("b") != nil {
+		t.Fatal("HistogramVec Find misbehaves")
+	}
+}
+
+// TestDuplicateRegistrationPanics: metric names are a global contract per
+// registry; silently shadowing one is a bug worth failing fast on.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r.NewCounter("dup_total", "h")
+}
+
+// TestCounterNil: nil counters swallow writes (disabled instrumentation).
+func TestCounterNil(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+}
