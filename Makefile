@@ -72,9 +72,13 @@ serve-demo:
 upgrade-demo:
 	$(GO) run ./cmd/experiments -id upgrade
 
-# Short fuzz pass over the modular-arithmetic primitives (one target per
-# invocation is a `go test` restriction).
+# Short fuzz pass over the modular-arithmetic primitives and the three
+# wire decoders an endpoint exposes (one target per invocation is a
+# `go test` restriction).
 fuzz:
 	$(GO) test -run XXX -fuzz FuzzAddSubMod -fuzztime 10s ./internal/ring/
 	$(GO) test -run XXX -fuzz FuzzMulModShoup -fuzztime 10s ./internal/ring/
 	$(GO) test -run XXX -fuzz FuzzPowMod -fuzztime 10s ./internal/ring/
+	$(GO) test -run XXX -fuzz FuzzCiphertextUnmarshal -fuzztime 10s ./internal/ckks/
+	$(GO) test -run XXX -fuzz FuzzMLPUnmarshal -fuzztime 10s ./internal/henn/
+	$(GO) test -run XXX -fuzz FuzzModelBundleUnmarshal -fuzztime 10s ./internal/registry/

@@ -1,0 +1,34 @@
+package henn
+
+import "testing"
+
+// FuzzMLPUnmarshal throws arbitrary bytes at the network wire decoder:
+// garbage must error (never panic, never allocate unboundedly from a
+// hostile layer count or dimension), and any accepted network must
+// survive a re-marshal round trip.
+func FuzzMLPUnmarshal(f *testing.F) {
+	seed, err := testMLP(5).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/3])
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), seed...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mlp := new(MLP)
+		if err := mlp.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := mlp.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted network fails to re-marshal: %v", err)
+		}
+		again := new(MLP)
+		if err := again.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-marshaled network rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package lint_test
+
+import (
+	"go/types"
+	"sort"
+	"testing"
+
+	"github.com/efficientfhe/smartpaf/internal/lint"
+)
+
+// loadCallgraph builds the Program over the callgraph fixture.
+func loadCallgraph(t *testing.T) *lint.Program {
+	t.Helper()
+	pkg, err := lint.LoadDir("testdata/src/callgraph", "test/callgraph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.NewProgram([]*lint.Package{pkg})
+}
+
+// nodeByName finds the fixture function with the given name.
+func nodeByName(t *testing.T, prog *lint.Program, name string) *lint.FuncNode {
+	t.Helper()
+	for _, n := range prog.Funcs() {
+		if n.Fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %s", name)
+	return nil
+}
+
+// calleeNames flattens a node's resolved call targets.
+func calleeNames(n *lint.FuncNode) []string {
+	var out []string
+	for _, site := range n.Calls {
+		for _, fn := range site.Callees {
+			out = append(out, fn.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestCallgraphDirectAndRecursive(t *testing.T) {
+	prog := loadCallgraph(t)
+	if got := calleeNames(nodeByName(t, prog, "direct")); len(got) != 1 || got[0] != "leaf" {
+		t.Errorf("direct callees = %v, want [leaf]", got)
+	}
+	if got := calleeNames(nodeByName(t, prog, "fact")); len(got) != 1 || got[0] != "fact" {
+		t.Errorf("fact callees = %v, want the self edge [fact]", got)
+	}
+	if got := calleeNames(nodeByName(t, prog, "mutualA")); len(got) != 1 || got[0] != "mutualB" {
+		t.Errorf("mutualA callees = %v, want [mutualB]", got)
+	}
+}
+
+func TestCallgraphSiteContexts(t *testing.T) {
+	prog := loadCallgraph(t)
+	n := nodeByName(t, prog, "contexts")
+	flags := map[string]*lint.CallSite{}
+	for _, site := range n.Calls {
+		for _, fn := range site.Callees {
+			flags[fn.Name()] = site
+		}
+	}
+	for name, want := range map[string]struct{ goCtx, deferCtx, closure bool }{
+		"leaf":   {false, false, false},
+		"stop":   {false, true, false},
+		"run":    {true, false, false},
+		"direct": {false, false, false}, // invoked literal splices inline
+		"fact":   {false, false, true},  // stored literal
+	} {
+		site, ok := flags[name]
+		if !ok {
+			t.Errorf("no call site for %s", name)
+			continue
+		}
+		if site.Go != want.goCtx || site.Defer != want.deferCtx || site.InClosure != want.closure {
+			t.Errorf("%s: go=%v defer=%v closure=%v, want go=%v defer=%v closure=%v",
+				name, site.Go, site.Defer, site.InClosure, want.goCtx, want.deferCtx, want.closure)
+		}
+	}
+}
+
+func TestCallgraphRefs(t *testing.T) {
+	prog := loadCallgraph(t)
+	n := nodeByName(t, prog, "references")
+	var refs []string
+	for _, r := range n.Refs {
+		refs = append(refs, r.Fn.Name())
+	}
+	sort.Strings(refs)
+	if len(refs) != 2 || refs[0] != "leaf" || refs[1] != "run" {
+		t.Errorf("references refs = %v, want [leaf run]", refs)
+	}
+	if len(n.Calls) != 0 {
+		t.Errorf("references has %d call sites, want 0", len(n.Calls))
+	}
+}
+
+func TestCallgraphInterfaceDispatch(t *testing.T) {
+	prog := loadCallgraph(t)
+	n := nodeByName(t, prog, "dispatch")
+	var callees []string
+	recvs := map[string]bool{}
+	for _, site := range n.Calls {
+		for _, fn := range site.Callees {
+			callees = append(callees, fn.Name())
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				recvs[types.TypeString(sig.Recv().Type(), func(*types.Package) string { return "" })] = true
+			}
+		}
+	}
+	if len(callees) != 2 {
+		t.Fatalf("dispatch resolves to %v, want the two closer implementations", callees)
+	}
+	if !recvs["fileConn"] || !recvs["*netConn"] {
+		t.Errorf("dispatch receivers = %v, want fileConn and *netConn", recvs)
+	}
+	for r := range recvs {
+		if r == "notAcloser" {
+			t.Errorf("notAcloser does not implement closer but was resolved")
+		}
+	}
+}
+
+// TestCallgraphFixpoint checks convergence over recursion: a transitive
+// may-call summary must reach a fixed point and include the recursive
+// closure of callees.
+func TestCallgraphFixpoint(t *testing.T) {
+	prog := loadCallgraph(t)
+	may := map[*types.Func]map[string]bool{}
+	prog.Fixpoint(func(n *lint.FuncNode) bool {
+		sum := may[n.Fn]
+		if sum == nil {
+			sum = map[string]bool{}
+			may[n.Fn] = sum
+		}
+		changed := false
+		for _, site := range n.Calls {
+			for _, callee := range site.Callees {
+				if !sum[callee.Name()] {
+					sum[callee.Name()] = true
+					changed = true
+				}
+				for name := range may[callee] {
+					if !sum[name] {
+						sum[name] = true
+						changed = true
+					}
+				}
+			}
+		}
+		return changed
+	})
+	a := may[nodeByName(t, prog, "mutualA").Fn]
+	if !a["mutualA"] || !a["mutualB"] {
+		t.Errorf("mutualA transitive callees = %v, want itself and mutualB", a)
+	}
+}

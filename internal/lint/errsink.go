@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Errsink finds discarded wire-decode and wire-I/O errors: a truncated
+// read that is ignored becomes a zero length, a silently failed write
+// becomes a corrupt artifact, and both bypass every bound wiremagic
+// proves. The base sink set is encoding/binary.Read/Write, io.ReadFull,
+// the (Un)MarshalBinary/Gob method family, and Encoder.Encode /
+// Decoder.Decode; on top of that, the shared call graph propagates
+// wire-ness through this repo's helper idiom — a function with an error
+// result that transitively performs wire I/O (readU32, writeU32,
+// writePoly and friends) is itself a sink, computed to a fixpoint so
+// helpers stacked on helpers still count. A call whose error result is
+// ignored — `_ =`, a blank in the tuple position, a bare expression
+// statement, or a defer/go that drops the results — is reported unless
+// the line (or the line above) carries //hennlint:err-ok with a
+// justification.
+var Errsink = &Analyzer{
+	Name:       "errsink",
+	Doc:        "wire-decode and wire-I/O errors must not be silently discarded",
+	RunProgram: runErrsink,
+}
+
+// errsinkMethodFamily are method names that serialize or deserialize
+// their receiver over the wire.
+var errsinkMethodFamily = map[string]bool{
+	"UnmarshalBinary": true,
+	"MarshalBinary":   true,
+	"AppendBinary":    true,
+	"GobEncode":       true,
+	"GobDecode":       true,
+}
+
+func runErrsink(pp *ProgramPass) error {
+	prog := pp.Prog
+	// wire marks analyzed functions that transitively perform wire I/O
+	// and surface an error result.
+	wire := map[*types.Func]bool{}
+	prog.Fixpoint(func(n *FuncNode) bool {
+		if wire[n.Fn] || !hasErrorResult(n.Fn) {
+			return false
+		}
+		for _, site := range n.Calls {
+			if site.Go || site.InClosure {
+				continue
+			}
+			for _, callee := range site.Callees {
+				if isWireBase(callee) || wire[callee] {
+					wire[n.Fn] = true
+					return true
+				}
+			}
+		}
+		return false
+	})
+
+	isWire := func(call *ast.CallExpr, info *types.Info) (*types.Func, bool) {
+		fn := calleeFunc(info, call)
+		if fn == nil || !hasErrorResult(fn) {
+			return nil, false
+		}
+		if isWireBase(fn) || wire[fn] {
+			return fn, true
+		}
+		return nil, false
+	}
+
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			if strings.HasSuffix(prog.Fset.Position(f.Pos()).Filename, "_test.go") {
+				continue
+			}
+			ok := directiveLines(prog.Fset, f, "err-ok")
+			report := func(call *ast.CallExpr, fn *types.Func, how string) {
+				if ok[prog.Fset.Position(call.Pos()).Line] {
+					return
+				}
+				pp.Reportf(call.Pos(), "error from %s is %s; wire-decode and I/O errors must be handled (audit with %serr-ok if discarding is intended)",
+					wireCallName(fn), how, directivePrefix)
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, isCall := ast.Unparen(n.X).(*ast.CallExpr); isCall {
+						if fn, w := isWire(call, pkg.Info); w {
+							report(call, fn, "discarded (results unused)")
+						}
+					}
+				case *ast.DeferStmt:
+					if fn, w := isWire(n.Call, pkg.Info); w {
+						report(n.Call, fn, "discarded by defer")
+					}
+				case *ast.GoStmt:
+					if fn, w := isWire(n.Call, pkg.Info); w {
+						report(n.Call, fn, "discarded by go statement")
+					}
+				case *ast.AssignStmt:
+					checkErrsinkAssign(pkg.Info, n.Lhs, n.Rhs, isWire, report)
+				case *ast.DeclStmt:
+					if gd, isGen := n.Decl.(*ast.GenDecl); isGen {
+						for _, spec := range gd.Specs {
+							if vs, isVal := spec.(*ast.ValueSpec); isVal && len(vs.Values) > 0 {
+								checkErrsinkAssign(pkg.Info, identsAsExprs(vs.Names), vs.Values, isWire, report)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkErrsinkAssign reports wire calls whose error-typed results land
+// in blank identifiers.
+func checkErrsinkAssign(info *types.Info, lhs, rhs []ast.Expr,
+	isWire func(*ast.CallExpr, *types.Info) (*types.Func, bool),
+	report func(*ast.CallExpr, *types.Func, string)) {
+	// v, _ := call() — one multi-result call.
+	if len(rhs) == 1 && len(lhs) > 1 {
+		call, isCall := ast.Unparen(rhs[0]).(*ast.CallExpr)
+		if !isCall {
+			return
+		}
+		fn, w := isWire(call, info)
+		if !w {
+			return
+		}
+		sig, isSig := fn.Type().(*types.Signature)
+		if !isSig || sig.Results().Len() != len(lhs) {
+			return
+		}
+		for i := 0; i < len(lhs); i++ {
+			if isErrorType(sig.Results().At(i).Type()) && isBlank(lhs[i]) {
+				report(call, fn, "assigned to _")
+				return
+			}
+		}
+		return
+	}
+	if len(lhs) != len(rhs) {
+		return
+	}
+	for i := range rhs {
+		call, isCall := ast.Unparen(rhs[i]).(*ast.CallExpr)
+		if !isCall || !isBlank(lhs[i]) {
+			continue
+		}
+		fn, w := isWire(call, info)
+		if !w {
+			continue
+		}
+		sig, isSig := fn.Type().(*types.Signature)
+		if isSig && sig.Results().Len() == 1 && isErrorType(sig.Results().At(0).Type()) {
+			report(call, fn, "assigned to _")
+		}
+	}
+}
+
+// isWireBase matches the built-in wire sink set.
+func isWireBase(fn *types.Func) bool {
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	switch {
+	case pkgPath == "encoding/binary" && (fn.Name() == "Read" || fn.Name() == "Write"):
+		return true
+	case pkgPath == "io" && fn.Name() == "ReadFull":
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if errsinkMethodFamily[fn.Name()] {
+		return true
+	}
+	recv := namedTypeName(sig.Recv().Type())
+	return (fn.Name() == "Encode" && recv == "Encoder") || (fn.Name() == "Decode" && recv == "Decoder")
+}
+
+// wireCallName renders Type.Method or pkg.Func for messages.
+func wireCallName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if tn := namedTypeName(sig.Recv().Type()); tn != "" {
+			return tn + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg().Name() != "" {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func hasErrorResult(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}

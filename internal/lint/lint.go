@@ -29,6 +29,22 @@
 //     Apply* implementations must match what LevelsRequired budgets, and
 //     no caller may size or gate with LevelsRequired() ± k arithmetic —
 //     the budget is exact by construction.
+//   - lockorder: whole-program deadlock detection — every
+//     acquires-while-holding pair (computed transitively over the shared
+//     call graph) feeds a global lock-order graph which must stay
+//     acyclic; //hennlint:lock-order(a<b) pins the canonical order and
+//     //hennlint:lock-order-ok audits a deliberate site away.
+//   - obsdiscipline: telemetry discipline — StageStart/StageEnd marks
+//     and trace spans must pair on every path, unbounded values
+//     (request paths, trace ids, user input) must not become metric
+//     label values, and functions annotated //hennlint:read-path
+//     (scrape/stats handlers) must never reach the series-creating
+//     With, only Find.
+//   - errsink: wire-decode and I/O errors must not be discarded — an
+//     ignored error from binary.Read/Write, an (Un)MarshalBinary-family
+//     method, or any helper that transitively performs wire I/O
+//     (readU32 and friends) is a finding unless audited with
+//     //hennlint:err-ok.
 //
 // The suite runs as `make lint` (via cmd/hennlint) and is enforced in CI.
 // It is built directly on go/ast and go/types — the module vendors no
@@ -46,16 +62,21 @@ import (
 	"strings"
 )
 
-// Analyzer is one named invariant check over a type-checked package.
+// Analyzer is one named invariant check. Run sees one package at a time;
+// RunProgram (either may be nil, at least one must be set) sees every
+// analyzed package at once through the shared call-graph engine
+// (callgraph.go) — the whole-program analyzers (lockorder, errsink,
+// obsdiscipline's read-path check) live there.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name       string
+	Doc        string
+	Run        func(*Pass) error
+	RunProgram func(*ProgramPass) error
 }
 
 // All returns the full hennlint suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Polypool, Refbalance, Cryptorand, Ctcompare, Wiremagic, Lockguard, Secretflow, Levelbudget}
+	return []*Analyzer{Polypool, Refbalance, Cryptorand, Ctcompare, Wiremagic, Lockguard, Secretflow, Levelbudget, Lockorder, Obsdiscipline, Errsink}
 }
 
 // Pass carries one analyzer's view of one package.
@@ -90,12 +111,36 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
+// ProgramPass carries one analyzer's whole-program view: every analyzed
+// package plus the shared call graph.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Run applies the analyzers to every package and returns the combined
-// diagnostics sorted by position.
+// diagnostics sorted by position. Per-package Run hooks see each package
+// in turn; RunProgram hooks run once over the shared call graph of the
+// whole package set.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Path:     pkg.Path,
@@ -103,11 +148,24 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
-				report:   func(d Diagnostic) { diags = append(diags, d) },
+				report:   report,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
+		}
+	}
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = NewProgram(pkgs)
+		}
+		pp := &ProgramPass{Analyzer: a, Prog: prog, report: report}
+		if err := a.RunProgram(pp); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -181,6 +239,28 @@ func fileHasDirective(f *ast.File, name string) bool {
 		}
 	}
 	return false
+}
+
+// directiveLines returns the lines carrying the named directive in f,
+// plus the line directly below each — the audited-escape convention: the
+// directive suppresses a finding on its own line or, as a standalone
+// comment, on the line it annotates below it.
+func directiveLines(fset *token.FileSet, f *ast.File, name string) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			if rest == name || strings.HasPrefix(rest, name+" ") {
+				line := fset.Position(c.Pos()).Line
+				lines[line] = true
+				lines[line+1] = true
+			}
+		}
+	}
+	return lines
 }
 
 // calleeFunc resolves the *types.Func a call invokes, or nil.

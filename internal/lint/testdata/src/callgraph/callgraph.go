@@ -1,0 +1,82 @@
+// Package callgraph is the shared engine's test fixture: direct calls,
+// recursion, method values, closures (invoked and stored), go/defer
+// context, and interface dispatch.
+package callgraph
+
+func leaf() {}
+
+func direct() {
+	leaf()
+}
+
+// fact is self-recursive: the graph must carry the self edge and the
+// fixpoint must still converge.
+func fact(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return n * fact(n-1)
+}
+
+// mutualA/mutualB are mutually recursive.
+func mutualA(n int) {
+	if n > 0 {
+		mutualB(n - 1)
+	}
+}
+
+func mutualB(n int) {
+	mutualA(n)
+}
+
+type worker struct{}
+
+func (w *worker) run()  {}
+func (w *worker) stop() {}
+
+// contexts exercises the site flags: a plain call, a deferred call, a
+// spawned call, and calls inside invoked and stored literals.
+func contexts(w *worker) {
+	leaf()
+	defer w.stop()
+	go w.run()
+	func() {
+		direct() // immediately invoked: splices into contexts
+	}()
+	cb := func() {
+		fact(3) // stored literal: runs who-knows-when
+	}
+	_ = cb
+}
+
+// references takes function values without calling them: the graph
+// records Refs, not Calls.
+func references(w *worker) func() {
+	h := w.run
+	_ = leaf
+	return h
+}
+
+// closer is the interface for CHA dispatch.
+type closer interface {
+	Close() error
+}
+
+type fileConn struct{}
+
+func (fileConn) Close() error { return nil }
+
+type netConn struct{}
+
+func (*netConn) Close() error { return nil }
+
+// notAcloser has a Close with the wrong shape and must not resolve.
+type notAcloser struct{}
+
+func (notAcloser) Close() {}
+
+// dispatch calls through the interface: CHA resolves to every analyzed
+// concrete implementation.
+func dispatch(c closer) {
+	_ = c.Close()
+}

@@ -1,0 +1,53 @@
+// Package lockorder is the lockorder analyzer's test fixture. The
+// catalog/stack pair reintroduces the classic registry deadlock: the
+// deploy path drains stacks while holding the catalog lock, and the
+// release path calls back into the catalog while holding a stack lock.
+package lockorder
+
+import "sync"
+
+type catalog struct {
+	mu     sync.Mutex
+	models map[string]*stack
+}
+
+type stack struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// deploy holds the catalog lock while draining the superseded stack —
+// the stack lock is taken two calls deep, so the edge needs the
+// transitive summaries.
+func (c *catalog) deploy(s *stack) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	drain(s) // want "lock-order cycle .potential deadlock.: lockorder.catalog.mu -> lockorder.stack.mu -> lockorder.catalog.mu"
+}
+
+func drain(s *stack) {
+	s.retire()
+}
+
+func (s *stack) retire() {
+	s.mu.Lock()
+	s.refs = 0
+	s.mu.Unlock()
+}
+
+// release holds the stack lock and, on the last reference, calls back
+// into the catalog: the opposite nesting, completing the cycle.
+func (s *stack) release(c *catalog) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refs--
+	if s.refs == 0 {
+		c.delist()
+	}
+}
+
+func (c *catalog) delist() {
+	c.mu.Lock()
+	delete(c.models, "x")
+	c.mu.Unlock()
+}

@@ -1,0 +1,78 @@
+package lockorder
+
+import "sync"
+
+// seqA/seqB are only ever locked sequentially — no edges, no findings.
+type seqA struct{ mu sync.Mutex }
+type seqB struct{ mu sync.Mutex }
+
+func sequential(a *seqA, b *seqB) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// unlockBeforeCall mirrors registry's Deployed.free: the inner lock is
+// released before calling into code that takes the other one.
+func unlockBeforeCall(a *seqA, b *seqB) {
+	a.mu.Lock()
+	done := true
+	a.mu.Unlock()
+	if done {
+		lockB(b)
+	}
+}
+
+func lockB(b *seqB) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func lockA(a *seqA) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// spawned goroutines run on their own stack: the reverse nesting below
+// never happens on one stack, so no seqB -> seqA edge forms.
+func spawner(a *seqA, b *seqB) {
+	b.mu.Lock()
+	go lockA(a)
+	go func() {
+		lockA(a)
+	}()
+	b.mu.Unlock()
+}
+
+// twoInstances locks two instances of one class: class-level analysis
+// cannot order instances, so the self-pair is skipped.
+func twoInstances(x, y *seqA) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// branches converge: each arm pairs its own lock correctly and the held
+// set at the join is the union of survivors.
+func branchy(a *seqA, b *seqB, cond bool) {
+	if cond {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+	} else {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+	}
+}
+
+// rw is read-locked sequentially with the others: RLock shares its
+// class with Lock and stays silent here too.
+type rw struct{ mu sync.RWMutex }
+
+func readers(r *rw, b *seqB) {
+	r.mu.RLock()
+	r.mu.RUnlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}

@@ -1,0 +1,44 @@
+package lockorder
+
+import "sync"
+
+// poolA/poolB carry a pinned canonical order; acquiring against it is a
+// direct finding even though no second thread exists in the fixture yet.
+type poolA struct{ mu sync.Mutex }
+type poolB struct{ mu sync.Mutex }
+
+//hennlint:lock-order(poolA.mu < poolB.mu)
+
+func rightWay(a *poolA, b *poolB) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func wrongWay(a *poolA, b *poolB) {
+	b.mu.Lock()
+	a.mu.Lock() // want "lockorder.poolA.mu is acquired while lockorder.poolB.mu is held .*pinned lock order is lockorder.poolA.mu < lockorder.poolB.mu"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// escA/escB nest both ways, but one direction is audited away, so no
+// cycle remains.
+type escA struct{ mu sync.Mutex }
+type escB struct{ mu sync.Mutex }
+
+func auditedNesting(a *escA, b *escB) {
+	a.mu.Lock()
+	//hennlint:lock-order-ok init-time wiring: runs before any goroutine starts
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func reverseNesting(a *escA, b *escB) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}

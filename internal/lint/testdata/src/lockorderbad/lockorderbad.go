@@ -1,0 +1,14 @@
+// Package lockorderbad carries deliberately malformed lock-order pins;
+// the analyzer must diagnose the directives themselves rather than
+// guess. Tested by TestLockorderMalformedPins, not via want markers —
+// the diagnostics land on the directive comments' own lines, which line
+// comments cannot share with a marker.
+package lockorderbad
+
+//hennlint:lock-order(a < b < c)
+
+//hennlint:lock-order(missing
+
+//hennlint:lock-order(x.y.z.w < a)
+
+var placeholder int

@@ -1,0 +1,123 @@
+package obsdiscipline
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// --- lifecycle pairing: stage marks ---
+
+// leakStage drops the mark on the error path: the encode stage
+// histogram silently loses exactly the failing requests.
+func leakStage(tr *Trace, fail bool) {
+	mark := tr.StageStart()
+	if fail {
+		return // want "stage mark mark .acquired at .* is not released on this return path"
+	}
+	tr.StageEnd("encode", mark)
+}
+
+// discardStage never keeps the mark at all.
+func discardStage(tr *Trace) {
+	tr.StageStart() // want "result of this call .stage mark. is discarded and can never be released"
+}
+
+// goodStage is the repo's idiom, including mark reuse across stages.
+func goodStage(tr *Trace) {
+	mark := tr.StageStart()
+	tr.StageEnd("encode", mark)
+	mark = tr.StageStart()
+	tr.StageEnd("rotate", mark)
+}
+
+// --- lifecycle pairing: spans ---
+
+func leakSpan(tr *Trace, cond bool) {
+	sp := StartSpan(tr, "apply")
+	if cond {
+		return // want "trace span sp .acquired at .* is not released on this return path"
+	}
+	sp.End()
+}
+
+func goodSpan(tr *Trace) {
+	sp := StartSpan(tr, "apply")
+	defer sp.End()
+}
+
+// handoff returns the span to its caller under the annotation.
+//
+//hennlint:transfers-ownership
+func handoff(tr *Trace) *Span {
+	return StartSpan(tr, "apply")
+}
+
+func goodHandoffCaller(tr *Trace) {
+	sp := handoff(tr)
+	sp.End()
+}
+
+// --- label cardinality ---
+
+func badPathLabel(v *CounterVec, r *Request) {
+	v.With(r.URL.Path).Inc() // want "unbounded value r.URL.Path becomes a CounterVec.With label"
+}
+
+func badPathValue(v *CounterVec, r *Request) {
+	model := r.PathValue("model")
+	v.With("model", model).Inc() // want "unbounded value model becomes a CounterVec.With label"
+}
+
+func badLaundered(h *HistogramVec, r *Request) {
+	key := fmt.Sprintf("q-%s", r.FormValue("q"))
+	h.With(key).Observe(1) // want "unbounded value key becomes a HistogramVec.With label"
+}
+
+func badTraceID(v *CounterVec, tr *Trace) {
+	v.With(tr.ID()).Inc() // want "unbounded value tr.ID.. becomes a CounterVec.With label"
+}
+
+func badHeader(v *CounterVec, r *Request) {
+	v.With(r.Header.Get("X-Session")).Inc() // want "becomes a CounterVec.With label"
+}
+
+func goodLabels(v *CounterVec, h *HistogramVec, status int) {
+	v.With("route", "encode").Inc()
+	v.With("code", strconv.Itoa(status)).Inc()
+	h.With("stage").Observe(2)
+}
+
+// goodFind is the read-side accessor: unbounded input cannot create a
+// series through Find, so it stays legal.
+func goodFind(v *CounterVec, r *Request) {
+	if c := v.Find(r.URL.Path); c != nil {
+		c.Inc()
+	}
+}
+
+// auditedLabel is deliberately per-model: the deploy allowlist bounds it.
+func auditedLabel(v *CounterVec, r *Request) {
+	//hennlint:label-ok model names come from the deploy allowlist, bounded by ops
+	v.With(r.PathValue("model")).Inc()
+}
+
+// --- With on read paths ---
+
+// statsRead is a read path but reaches With two calls deep.
+//
+//hennlint:read-path
+func statsRead(v *CounterVec) int {
+	return peek(v) // want "read-path function statsRead reaches CounterVec.With .call path statsRead -> peek."
+}
+
+func peek(v *CounterVec) int {
+	v.With("route", "stats").Inc()
+	return 0
+}
+
+// scrapeRead only uses Find: clean.
+//
+//hennlint:read-path
+func scrapeRead(v *CounterVec) {
+	_ = v.Find("route", "stats")
+}

@@ -1,0 +1,60 @@
+// Package obsdiscipline is the obsdiscipline analyzer's test fixture.
+// The types mirror internal/telemetry and net/http by name only — the
+// analyzer matches receiver and result type names, so the fixture stays
+// self-contained.
+package obsdiscipline
+
+// Time mirrors time.Time closely enough for the stage-mark pairing.
+type Time struct{ ns int64 }
+
+// Trace mirrors telemetry.Trace: stage marks and a per-request id.
+type Trace struct{ id string }
+
+func (t *Trace) StageStart() Time             { return Time{} }
+func (t *Trace) StageEnd(name string, m Time) { _ = name; _ = m }
+func (t *Trace) ID() string                   { return t.id }
+
+// Span mirrors telemetry.Span.
+type Span struct{ name string }
+
+func (s *Span) End() {}
+
+func StartSpan(t *Trace, name string) *Span { return &Span{name: name} }
+
+// CounterVec/HistogramVec mirror the telemetry vec API: With creates
+// the series on first use, Find only looks it up.
+type CounterVec struct{}
+
+func (v *CounterVec) With(labels ...string) *Counter { return &Counter{} }
+func (v *CounterVec) Find(labels ...string) *Counter { return nil }
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type HistogramVec struct{}
+
+func (v *HistogramVec) With(labels ...string) *Histogram { return &Histogram{} }
+func (v *HistogramVec) Find(labels ...string) *Histogram { return nil }
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(x float64) {}
+
+// Request/URL/Header mirror net/http's unbounded client inputs.
+type Header map[string][]string
+
+func (h Header) Get(k string) string { return "" }
+
+type URL struct {
+	Path     string
+	RawQuery string
+}
+
+type Request struct {
+	URL    *URL
+	Header Header
+}
+
+func (r *Request) PathValue(k string) string { return "" }
+func (r *Request) FormValue(k string) string { return "" }

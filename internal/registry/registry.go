@@ -256,6 +256,10 @@ type family struct {
 // Store (UseStore) persists every deployed bundle so a restart reloads the
 // catalog.
 type Registry struct {
+	// The catalog lock nests outside the per-stack lock: list/resolve
+	// paths hold mu while querying a Deployed's drain state, and
+	// Deployed.free deliberately releases d.mu before delisting.
+	//hennlint:lock-order(Registry.mu < Deployed.mu)
 	mu       sync.RWMutex
 	families map[string]*family //hennlint:guarded-by(mu)
 	store    *Store             //hennlint:guarded-by(mu)

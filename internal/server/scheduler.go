@@ -43,6 +43,10 @@ type scheduler struct {
 	pool *parallel.Pool
 	wake chan struct{}
 
+	// The session-table lock nests outside the queue lock: enqueue paths
+	// may resolve a session under Server.mu before queueing here, and
+	// nothing queue-side ever calls back into the session table.
+	//hennlint:lock-order(Server.mu < scheduler.mu)
 	mu   sync.Mutex
 	ring []*session // PolicyFair: sessions with queued jobs, round-robin order, guarded by mu
 	fifo []*session // PolicyFIFO: one entry per enqueued job, arrival order, guarded by mu
@@ -424,7 +428,10 @@ type Stats struct {
 }
 
 // Stats reports scheduler counters (the mserve/mmodel/upgrade experiments
-// and the regression suite read these).
+// and the regression suite read these). It is a pure read of the
+// telemetry plane: it must never mint new series.
+//
+//hennlint:read-path
 func (s *Server) Stats() Stats {
 	deployed := s.reg.List()
 	perModel := make([]ModelStats, len(deployed))

@@ -229,6 +229,8 @@ func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) 
 // WriteText renders every family in Prometheus text exposition format,
 // families sorted by name and series by label values, so output is
 // deterministic for golden tests and stable for scrape diffing.
+//
+//hennlint:read-path
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
 	fams := append([]*metricFamily(nil), r.fams...)
